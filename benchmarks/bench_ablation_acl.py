@@ -1,0 +1,91 @@
+"""Ablation: the ACL rule on top of the ring rule.
+
+The ring rule alone cannot isolate two principals *in the same ring*: on the
+phpBB topic page every user message lives in ring 3, so without ACLs a
+malicious message could rewrite its neighbours.  Table 3 therefore gives
+messages an ACL admitting only rings 0-2.  The ablation evaluates the same
+message-to-message write requests with the full policy and with the ACL rule
+switched off, and also times policy evaluation in both configurations (the
+per-check cost of the extra rule).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import build_environment, login_victim, visit
+from repro.bench import format_table
+from repro.core import EscudoPolicy, Operation, evaluate_matrix
+
+
+def _page_contexts():
+    env = build_environment("phpbb", "escudo")
+    login_victim(env)
+    loaded = visit(env, "/viewtopic?t=1")
+    page = loaded.page
+    first = page.document.get_element_by_id("post-body-1")
+    second = page.document.get_element_by_id("post-body-2")
+    return page, first, second
+
+
+@pytest.mark.parametrize("acl_rule", [True, False], ids=["with-acl-rule", "without-acl-rule"])
+def test_ablation_acl_verdicts(benchmark, acl_rule):
+    """Same-ring message interference flips from deny to allow without ACLs."""
+    page, first, second = _page_contexts()
+    policy = EscudoPolicy(enforce_acl_rule=acl_rule)
+    principal = page.principal_context_for(first)
+
+    decision = benchmark(
+        lambda: policy.check(principal, second.security_context, Operation.WRITE,
+                             principal_label="message #1", object_label="message #2")
+    )
+    if acl_rule:
+        assert decision.denied
+    else:
+        assert decision.allowed
+
+
+def test_ablation_acl_report(benchmark, report_writer):
+    """Summarise the ablation over the full principal × object matrix."""
+    page, first, second = _page_contexts()
+    chrome = page.document.get_element_by_id("forum-header")
+    principals = [
+        ("message #1", page.principal_context_for(first)),
+        ("message #2", page.principal_context_for(second)),
+    ]
+    objects = [
+        ("message #1", first.security_context),
+        ("message #2", second.security_context),
+        ("chrome", chrome.security_context),
+    ]
+
+    def evaluate(acl_rule: bool):
+        return evaluate_matrix(EscudoPolicy(enforce_acl_rule=acl_rule), principals, objects,
+                               (Operation.WRITE,))
+
+    full = benchmark(lambda: evaluate(True))
+    ablated = evaluate(False)
+
+    rows = []
+    for with_acl, without_acl in zip(full, ablated):
+        rows.append(
+            (
+                f"{with_acl.principal_label} -> {with_acl.object_label}",
+                "allow" if with_acl.allowed else "deny",
+                "allow" if without_acl.allowed else "deny",
+            )
+        )
+    table = format_table(
+        ("write request", "full policy", "ACL rule disabled"),
+        rows,
+        title="Ablation: without the ACL rule, same-ring messages can interfere",
+    )
+    report_writer("ablation_acl", table)
+
+    interference = [r for r in rows if "message" in r[0].split(" -> ")[1] and
+                    r[0].split(" -> ")[0] != r[0].split(" -> ")[1]]
+    assert all(r[1] == "deny" for r in interference)
+    assert all(r[2] == "allow" for r in interference)
+    # The ring rule still protects the chrome even without ACLs.
+    chrome_rows = [r for r in rows if r[0].endswith("-> chrome")]
+    assert all(r[2] == "deny" for r in chrome_rows)

@@ -1,0 +1,85 @@
+"""Ablation: the scoping rule against statically nested privilege claims.
+
+A page author (or an attacker whose markup survives filtering) nests a
+``<div ring="0">`` carrying a script *inside* a ring-3 scope.  With the
+scoping rule, the nested claim is clamped to ring 3 and the script stays
+powerless; with the rule disabled (ablation only), the nested claim is
+honoured and the script escalates to ring 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.browser import Browser
+from repro.core import Acl, PageConfiguration, ResourcePolicy, Ring
+from repro.http import HttpResponse, Network
+
+PAGE = """<!DOCTYPE html><html><head><title>scoping ablation</title></head><body>
+<div ring="1" r="1" w="1" x="1">
+  <p id="status">all systems nominal</p>
+</div>
+<div ring="3" r="2" w="2" x="2">
+  user content starts here
+  <div ring="0" r="0" w="0" x="0">
+    <script>
+      var status = document.getElementById('status');
+      if (status != null) { status.textContent = 'escalated via nested ring claim'; }
+    </script>
+  </div>
+</div>
+</body></html>"""
+
+
+class _Server:
+    def handle_request(self, request):
+        response = HttpResponse.html(PAGE)
+        configuration = PageConfiguration()
+        configuration.cookie_policies["sid"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+        response.apply_escudo_headers(configuration)
+        response.set_cookie("sid", "token")
+        return response
+
+
+def _run(enforce_scoping: bool):
+    network = Network()
+    network.register("http://scoping.example.com", _Server())
+    browser = Browser(network, model="escudo", enforce_scoping=enforce_scoping)
+    loaded = browser.load("http://scoping.example.com/")
+    status = loaded.page.document.get_element_by_id("status")
+    escalated = "escalated" in status.text_content
+    nested_script = loaded.page.document.scripts()[0]
+    return loaded, escalated, nested_script.security_context.ring.level
+
+
+@pytest.mark.parametrize("enforce_scoping", [True, False], ids=["with-scoping", "without-scoping"])
+def test_ablation_scoping_runtime(benchmark, enforce_scoping):
+    """Load the crafted page under each variant and check the outcome."""
+    loaded, escalated, script_ring = benchmark.pedantic(
+        lambda: _run(enforce_scoping), rounds=1, iterations=1
+    )
+    if enforce_scoping:
+        assert not escalated
+        assert script_ring == 3
+        assert loaded.page.labeling.scoping_clamps >= 1
+    else:
+        assert escalated
+        assert script_ring == 0
+
+
+def test_ablation_scoping_report(report_writer):
+    """Summarise the ablation."""
+    rows = []
+    for enforce in (True, False):
+        _, escalated, script_ring = _run(enforce)
+        rows.append(
+            ("on" if enforce else "off", script_ring, "SUCCEEDED" if escalated else "neutralized")
+        )
+    table = format_table(
+        ("scoping rule", "ring of nested script", "escalation attempt"),
+        rows,
+        title="Ablation: the scoping rule clamps nested privilege claims",
+    )
+    report_writer("ablation_scoping", table)
+    assert rows[0][2] == "neutralized" and rows[1][2] == "SUCCEEDED"

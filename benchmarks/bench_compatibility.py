@@ -1,0 +1,93 @@
+"""Section 6.3: compatibility with legacy applications and browsers.
+
+Two claims are checked:
+
+1. ESCUDO-configured applications work in non-ESCUDO browsers -- the AC
+   attributes and the optional headers are simply ignored, and the
+   application's own scripts keep functioning.
+2. Non-ESCUDO (legacy) applications work in ESCUDO browsers -- with no
+   configuration, every principal and object collapses into a single ring,
+   so the ESCUDO policy yields exactly the same verdicts as the same-origin
+   policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.browser import Browser
+from repro.core import EscudoPolicy, Operation, SameOriginPolicy, evaluate_matrix
+from repro.http import Network
+from repro.webapps import PhpBB
+
+
+def _load(model: str, *, escudo_app: bool):
+    app = PhpBB(escudo_enabled=escudo_app, input_validation=False)
+    network = Network()
+    network.register(app.origin, app)
+    browser = Browser(network, model=model)
+    loaded = browser.load(f"{app.origin}/viewtopic?t=1")
+    return app, browser, loaded
+
+
+@pytest.mark.parametrize("model", ["escudo", "sop"])
+@pytest.mark.parametrize("escudo_app", [True, False], ids=["escudo-app", "legacy-app"])
+def test_compatibility_load(benchmark, model, escudo_app):
+    """Every app/browser combination loads and its trusted scripts run."""
+    def load_once():
+        _, _, loaded = _load(model, escudo_app=escudo_app)
+        return loaded
+
+    loaded = benchmark.pedantic(load_once, rounds=3, iterations=1)
+    page = loaded.page
+    # The application's own (trusted) scripts must work in every combination.
+    assert all(run.succeeded for run in page.script_runs), [
+        str(run.result.error) for run in page.script_runs if run.result.failed
+    ]
+    badge = page.document.get_element_by_id("unread-count")
+    assert badge is not None and badge.text_content.strip().isdigit()
+
+
+def test_legacy_app_escudo_policy_equals_sop(benchmark, report_writer):
+    """For unconfigured pages the ESCUDO verdicts equal the SOP verdicts."""
+    _, _, loaded = _load("escudo", escudo_app=False)
+    page = loaded.page
+    elements = list(page.document.elements())
+    principals = [(f"<{el.tag_name}>", el.security_context) for el in elements[:25]]
+    objects = [(f"<{el.tag_name}>", el.security_context) for el in elements[:25]]
+
+    def verdicts():
+        escudo = evaluate_matrix(EscudoPolicy(), principals, objects, tuple(Operation))
+        sop = evaluate_matrix(SameOriginPolicy(), principals, objects, tuple(Operation))
+        return escudo, sop
+
+    escudo_decisions, sop_decisions = benchmark(verdicts)
+    mismatches = sum(
+        1 for e, s in zip(escudo_decisions, sop_decisions) if e.verdict is not s.verdict
+    )
+    rows = [
+        ("decisions compared", len(escudo_decisions)),
+        ("verdict mismatches", mismatches),
+        ("escudo allows", sum(1 for d in escudo_decisions if d.allowed)),
+        ("sop allows", sum(1 for d in sop_decisions if d.allowed)),
+    ]
+    report_writer(
+        "compatibility",
+        format_table(("quantity", "value"), rows,
+                     title="Section 6.3: legacy page -- ESCUDO collapses to the same-origin policy"),
+    )
+    assert mismatches == 0
+
+
+def test_escudo_app_in_legacy_browser_keeps_working(report_writer):
+    """ESCUDO markup is inert in a non-ESCUDO browser (attributes ignored)."""
+    app, browser, loaded = _load("sop", escudo_app=True)
+    page = loaded.page
+    # The page parsed, the AC attributes are still present but unenforced,
+    # and the application's scripts ran with full legacy privileges.
+    assert not page.escudo_enabled
+    assert page.monitor.model_name == "same-origin"
+    scopes = [el for el in page.document.elements() if el.get_attribute("ring") is not None]
+    assert scopes, "the ESCUDO app should still emit its (ignored) AC tags"
+    assert all(run.succeeded for run in page.script_runs)

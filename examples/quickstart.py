@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: load an ESCUDO-configured page and watch the mediation work.
+
+Runs the same tiny single-page application in two browsers -- one enforcing
+ESCUDO, one enforcing the legacy same-origin policy -- and shows what a
+script hidden in untrusted user content can and cannot do under each model.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import quick_demo
+from repro.browser import Browser
+from repro.core import Acl, PageConfiguration, ResourcePolicy, Ring
+from repro.http import HttpResponse, Network
+
+
+class TinyApp:
+    """A one-page application configured for ESCUDO."""
+
+    PAGE = """<!DOCTYPE html><html>
+<head><title>tiny bank</title></head>
+<body>
+<div ring="1" r="1" w="1" x="1" nonce="chrome-1">
+  <h1 id="banner">tiny bank</h1>
+  <p id="balance">balance: 1,000 credits</p>
+  <script>
+    // Trusted application script (ring 1): allowed to refresh the balance.
+    var balanceNode = document.getElementById('balance');
+    balanceNode.setAttribute('data-refreshed', 'yes');
+  </script>
+</div nonce="chrome-1">
+<div ring="3" r="2" w="2" x="2" nonce="ugc-1">
+  <p id="guestbook">guest says: nice site!</p>
+  <script>
+    // Untrusted script hidden in user content (ring 3): tries to tamper.
+    var target = document.getElementById('balance');
+    if (target != null) { target.innerHTML = 'balance: 0 credits (hacked)'; }
+    var stolen = document.cookie;
+    var xhr = new XMLHttpRequest();
+    xhr.open('GET', '/exfil?cookie=' + stolen);
+    xhr.send();
+  </script>
+</div nonce="ugc-1">
+</body></html>"""
+
+    def handle_request(self, request):
+        if request.url.path == "/":
+            response = HttpResponse.html(self.PAGE)
+            response.set_cookie("bank_session", "s3cr3t-token")
+            configuration = PageConfiguration()
+            configuration.cookie_policies["bank_session"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+            configuration.api_policies["XMLHttpRequest"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+            response.apply_escudo_headers(configuration)
+            return response
+        return HttpResponse.text("ok")
+
+
+def run_model(model: str) -> None:
+    network = Network()
+    network.register("http://bank.example.com", TinyApp())
+    browser = Browser(network, model=model)
+    loaded = browser.load("http://bank.example.com/")
+    page = loaded.page
+
+    balance = page.document.get_element_by_id("balance")
+    exfiltrated = network.requests_matching(path_prefix="/exfil")
+    print(f"--- {model} browser " + "-" * 40)
+    print(f"  balance element reads  : {balance.text_content!r}")
+    print(f"  trusted refresh worked : {balance.get_attribute('data-refreshed') == 'yes'}")
+    print(f"  cookie exfiltrated     : {bool(exfiltrated and 's3cr3t' in str(exfiltrated[0].url))}")
+    print(f"  mediated accesses      : {page.monitor.stats.total} "
+          f"(denied {page.monitor.stats.denied})")
+    for decision in page.monitor.audit.denials():
+        print(f"    denied: {decision}")
+
+
+def main() -> None:
+    print("ESCUDO reproduction quickstart\n")
+    for model in ("escudo", "sop"):
+        run_model(model)
+    print()
+    print("Blog demo (same malicious comment under both models):")
+    print(quick_demo())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata drives the build; this file exists so that
+``pip install -e .`` can fall back to the legacy editable-install path on
+machines without the ``wheel`` package (as in the offline evaluation
+environment).
+"""
+
+from setuptools import setup
+
+setup()

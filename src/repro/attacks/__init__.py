@@ -1,0 +1,65 @@
+"""Attack corpus: XSS, CSRF, node-splitting and privilege-escalation attacks."""
+
+from .attacker import AttackerSite, CollectedLoot
+from .csrf import all_csrf_attacks, forged_state_present, phpbb_csrf_attacks, phpcalendar_csrf_attacks
+from .harness import (
+    Attack,
+    AttackEnvironment,
+    AttackResult,
+    build_environment,
+    defense_effectiveness_matrix,
+    login_victim,
+    make_application,
+    quick_blog_demo,
+    run_attacks,
+    summarize,
+    visit,
+    visit_attacker,
+)
+from .node_splitting import (
+    all_node_splitting_attacks,
+    injected_script_ring,
+    node_splitting_payload,
+    phpbb_node_splitting_attack,
+)
+from .privilege_escalation import (
+    all_privilege_escalation_attacks,
+    fake_chrome_ring,
+    mint_privileged_child_attack,
+    remap_attack,
+    tamper_denials,
+)
+from .xss import all_xss_attacks, phpbb_xss_attacks, phpcalendar_xss_attacks
+
+__all__ = [
+    "Attack",
+    "AttackEnvironment",
+    "AttackResult",
+    "AttackerSite",
+    "CollectedLoot",
+    "all_csrf_attacks",
+    "all_node_splitting_attacks",
+    "all_privilege_escalation_attacks",
+    "all_xss_attacks",
+    "build_environment",
+    "defense_effectiveness_matrix",
+    "fake_chrome_ring",
+    "forged_state_present",
+    "injected_script_ring",
+    "login_victim",
+    "make_application",
+    "mint_privileged_child_attack",
+    "node_splitting_payload",
+    "phpbb_csrf_attacks",
+    "phpbb_node_splitting_attack",
+    "phpbb_xss_attacks",
+    "phpcalendar_csrf_attacks",
+    "phpcalendar_xss_attacks",
+    "quick_blog_demo",
+    "remap_attack",
+    "run_attacks",
+    "summarize",
+    "tamper_denials",
+    "visit",
+    "visit_attacker",
+]

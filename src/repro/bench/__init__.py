@@ -1,0 +1,33 @@
+"""Benchmark support: Figure-4 workloads, timing loops and report formatting."""
+
+from .reporting import format_defense_matrix, format_figure4, format_policy_table, format_table
+from .timing import (
+    OverheadRow,
+    TimingSample,
+    average_overhead,
+    measure_all,
+    measure_workload,
+    parse_and_render,
+    time_callable,
+)
+from .workloads import SCENARIOS, ScenarioSpec, Workload, all_workloads, build_workload, workload_by_name
+
+__all__ = [
+    "OverheadRow",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "TimingSample",
+    "Workload",
+    "all_workloads",
+    "average_overhead",
+    "build_workload",
+    "format_defense_matrix",
+    "format_figure4",
+    "format_policy_table",
+    "format_table",
+    "measure_all",
+    "measure_workload",
+    "parse_and_render",
+    "time_callable",
+    "workload_by_name",
+]

@@ -1,0 +1,381 @@
+"""The browser.
+
+:class:`Browser` ties the substrates together the way the Lobo prototype
+does in the paper: it fetches pages over the in-process network, stores
+cookies (with their ESCUDO labels), runs the load pipeline (parse → extract
+configuration → label → render), executes script principals, fires UI
+events, and -- crucially -- routes *every* principal-initiated HTTP request
+through a single mediation point so cookie attachment honours the ``use``
+permission.
+
+The protection model is selected per browser instance:
+
+* ``model="escudo"`` -- the full ESCUDO policy; cookie attachment, DOM
+  access, XHR use and event delivery are all mediated.
+* ``model="sop"`` -- the legacy baseline.  DOM/cookie/script accesses are
+  checked only against the origin rule, and cookies are attached to
+  outgoing requests *unconditionally* (the legacy browser behaviour whose
+  abuse is the CSRF attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.acl import Acl
+from repro.core.context import SecurityContext
+from repro.core.decision import Operation
+from repro.core.origin import Origin
+from repro.core.rings import Ring
+from repro.http.cookies import Cookie, CookieJar, format_cookie_header
+from repro.http.headers import Headers
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.network import Network
+from repro.http.url import Url
+
+from .history import BrowserHistory
+from .loader import LoaderOptions, load_page
+from .page import Page
+from .script_runtime import ScriptRuntime
+from .ui_events import UiEventLayer, UiEventResult
+
+#: Tags whose ``src`` is fetched automatically while loading a page.
+SUBRESOURCE_TAGS = ("img", "iframe", "embed")
+
+#: Maximum redirects followed for a top-level navigation.
+MAX_REDIRECTS = 5
+
+
+@dataclass
+class LoadedPage:
+    """A page together with its runtime machinery (scripts + events)."""
+
+    page: Page
+    runtime: ScriptRuntime
+    events: UiEventLayer
+    response: HttpResponse
+    subresource_requests: list[str] = field(default_factory=list)
+
+
+class Browser:
+    """One browser instance (profile): cookie jar, history, protection model."""
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        model: str = "escudo",
+        run_scripts: bool = True,
+        fetch_subresources: bool = True,
+        max_script_steps: int = 500_000,
+        enforce_scoping: bool = True,
+    ) -> None:
+        if model not in ("escudo", "sop", "same-origin"):
+            raise ValueError(f"unknown protection model {model!r}")
+        self.network = network
+        self.model = "sop" if model in ("sop", "same-origin") else "escudo"
+        self.run_scripts = run_scripts
+        self.fetch_subresources = fetch_subresources
+        self.max_script_steps = max_script_steps
+        # Disabling the scoping rule is exclusively for the ablation
+        # benchmark; the real model always enforces it.
+        self.enforce_scoping = enforce_scoping
+        self.cookie_jar = CookieJar()
+        self.history = BrowserHistory()
+        self.loaded: list[LoadedPage] = []
+
+    # -- top-level navigation ---------------------------------------------------------
+
+    def load(self, url: Url | str, *, method: str = "GET", form: dict[str, str] | None = None) -> LoadedPage:
+        """Navigate to ``url`` as the user and return the loaded page."""
+        target = url if isinstance(url, Url) else Url.parse(url)
+        response = self._navigate(target, method=method, form=form)
+        final_url = target
+        redirects = 0
+        while response.is_redirect and redirects < MAX_REDIRECTS:
+            final_url = final_url.resolve(response.headers.get("Location", "/"))
+            response = self._navigate(final_url, method="GET", form=None)
+            redirects += 1
+
+        configuration = response.escudo_configuration()
+        self.cookie_jar.store_from_response(final_url.origin, response.set_cookie_values, configuration)
+
+        options = LoaderOptions(model=self.model, enforce_scoping=self.enforce_scoping)
+        page = load_page(response.body, final_url, configuration=configuration, options=options)
+        self.history.record_visit(final_url, title=_page_title(page))
+
+        runtime = ScriptRuntime(self, page, max_steps=self.max_script_steps)
+        events = UiEventLayer(page, runtime)
+        loaded = LoadedPage(page=page, runtime=runtime, events=events, response=response)
+        self.loaded.append(loaded)
+
+        if self.fetch_subresources:
+            loaded.subresource_requests = self._fetch_subresources(page)
+        if self.run_scripts:
+            runtime.run_document_scripts()
+        return loaded
+
+    def _navigate(self, url: Url, *, method: str, form: dict[str, str] | None) -> HttpResponse:
+        """User-initiated fetch: all eligible cookies are attached.
+
+        The user (browser chrome) is a trusted principal in both models, so
+        this mirrors how real browsers attach cookies on address-bar
+        navigations.
+        """
+        request = HttpRequest(method=method, url=url, form=form or {}, initiator="user")
+        cookies = self.cookie_jar.cookies_for(url.origin, url.path)
+        header = format_cookie_header(cookies)
+        if header:
+            request.attach_cookie_header(header)
+        response = self.network.dispatch(request)
+        configuration = response.escudo_configuration()
+        self.cookie_jar.store_from_response(url.origin, response.set_cookie_values, configuration)
+        return response
+
+    # -- mediated request path (everything initiated by page principals) -------------------
+
+    def issue_request(
+        self,
+        *,
+        page: Page,
+        principal: SecurityContext,
+        method: str,
+        url: Url,
+        form: dict[str, str] | None = None,
+        body: str = "",
+        headers: Headers | None = None,
+        initiator_label: str = "principal",
+    ) -> HttpResponse:
+        """Issue an HTTP request on behalf of a page principal.
+
+        Cookie attachment is the ESCUDO-relevant step: each cookie destined
+        for the target origin is attached only if the principal passes its
+        ``use`` check.  Under the SOP baseline cookies are attached
+        unconditionally (the legacy behaviour the paper calls out).
+        """
+        request = HttpRequest(
+            method=method,
+            url=url,
+            form=form or {},
+            body=body,
+            headers=Headers(headers) if headers is not None else Headers(),
+            initiator=initiator_label,
+        )
+        eligible = self.cookie_jar.cookies_for(url.origin, url.path)
+        attached: list[Cookie] = []
+        for cookie in eligible:
+            if self.model == "sop":
+                attached.append(cookie)
+                continue
+            decision = page.monitor.authorize(
+                principal,
+                cookie,
+                Operation.USE,
+                object_label=cookie.label,
+            )
+            if decision.allowed:
+                attached.append(cookie)
+        header = format_cookie_header(attached)
+        if header:
+            request.attach_cookie_header(header)
+
+        response = self.network.dispatch(request)
+        configuration = response.escudo_configuration()
+        self.cookie_jar.store_from_response(url.origin, response.set_cookie_values, configuration)
+        return response
+
+    # -- subresources ------------------------------------------------------------------------
+
+    def _fetch_subresources(self, page: Page) -> list[str]:
+        """Fetch ``img``/``iframe``/``embed`` targets (HTTP-request principals)."""
+        fetched: list[str] = []
+        for tag in SUBRESOURCE_TAGS:
+            for element in page.document.get_elements_by_tag_name(tag):
+                src = element.get_attribute("src")
+                if not src:
+                    continue
+                principal = page.principal_context_for(element)
+                target = page.url.resolve(src)
+                self.issue_request(
+                    page=page,
+                    principal=principal,
+                    method="GET",
+                    url=target,
+                    initiator_label=f"<{tag} src={src!r}> on {page.url}",
+                )
+                fetched.append(str(target))
+        return fetched
+
+    # -- actions on loaded pages -----------------------------------------------------------------
+
+    def submit_form(
+        self,
+        loaded: LoadedPage,
+        form_id_or_element,
+        fields: dict[str, str] | None = None,
+        *,
+        as_user: bool = False,
+    ) -> HttpResponse:
+        """Submit a form found on ``loaded.page``.
+
+        The acting principal is the *form element itself* (an HTTP-request
+        issuing principal), unless ``as_user`` is set, in which case the
+        trusted browser principal submits it (a real user pressing the
+        button on the legitimate page).
+        """
+        page = loaded.page
+        form = (
+            page.document.get_element_by_id(form_id_or_element)
+            if isinstance(form_id_or_element, str)
+            else form_id_or_element
+        )
+        if form is None:
+            raise ValueError(f"form {form_id_or_element!r} not found")
+        method = (form.get_attribute("method") or "GET").upper()
+        action = form.get_attribute("action") or str(page.url)
+        target = page.url.resolve(action)
+
+        data: dict[str, str] = {}
+        for input_element in form.get_elements_by_tag_name("input"):
+            name = input_element.get_attribute("name")
+            if name:
+                data[name] = input_element.get_attribute("value") or ""
+        for textarea in form.get_elements_by_tag_name("textarea"):
+            name = textarea.get_attribute("name")
+            if name:
+                data[name] = textarea.text_content
+        if fields:
+            data.update(fields)
+
+        principal = page.browser_principal() if as_user else page.principal_context_for(form)
+        return self.issue_request(
+            page=page,
+            principal=principal,
+            method=method,
+            url=target,
+            form=data,
+            initiator_label=f"form action={action!r} on {page.url}",
+        )
+
+    def click_link(self, loaded: LoadedPage, link_id_or_element, *, as_user: bool = True) -> HttpResponse:
+        """Follow an ``<a>`` link on the page (GET request)."""
+        page = loaded.page
+        link = (
+            page.document.get_element_by_id(link_id_or_element)
+            if isinstance(link_id_or_element, str)
+            else link_id_or_element
+        )
+        if link is None:
+            raise ValueError(f"link {link_id_or_element!r} not found")
+        href = link.get_attribute("href") or "/"
+        target = page.url.resolve(href)
+        principal = page.browser_principal() if as_user else page.principal_context_for(link)
+        return self.issue_request(
+            page=page,
+            principal=principal,
+            method="GET",
+            url=target,
+            initiator_label=f"<a href={href!r}> on {page.url}",
+        )
+
+    def fire_event(self, loaded: LoadedPage, element_id: str, event_type: str, **kwargs) -> UiEventResult:
+        """Fire a UI event on an element of a loaded page."""
+        return loaded.events.fire_by_id(element_id, event_type, **kwargs)
+
+    def run_script(self, loaded: LoadedPage, source: str, *, ring: int | None = None,
+                   description: str = "injected script"):
+        """Run an ad-hoc script on a loaded page (used by tests and examples).
+
+        ``ring`` pins the principal's ring; the default is the page's
+        least-privileged ring for ESCUDO pages and ring 0 for legacy pages.
+        """
+        page = loaded.page
+        if ring is None:
+            principal_ring = (
+                page.rings.least_privileged() if page.escudo_enabled else Ring(0)
+            )
+        else:
+            principal_ring = Ring(ring)
+        principal = SecurityContext(
+            origin=page.origin,
+            ring=principal_ring,
+            acl=Acl.uniform(principal_ring),
+            label=f"adhoc script ring {principal_ring.level}",
+        )
+        return loaded.runtime.execute(source, principal, description=description)
+
+    # -- cookie access from scripts ------------------------------------------------------------------
+
+    def read_cookie_string(self, page: Page, principal: SecurityContext) -> str:
+        """``document.cookie`` getter: only cookies the principal may read."""
+        visible: list[Cookie] = []
+        for cookie in self.cookie_jar.cookies_for(page.origin, page.url.path):
+            if cookie.http_only:
+                continue
+            decision = page.monitor.authorize(
+                principal, cookie, Operation.READ, object_label=cookie.label
+            )
+            if decision.allowed:
+                visible.append(cookie)
+        return format_cookie_header(visible)
+
+    def write_cookie_string(self, page: Page, principal: SecurityContext, cookie_string: str) -> bool:
+        """``document.cookie`` setter: mediated write/creation."""
+        name, _, rest = cookie_string.partition("=")
+        name = name.strip()
+        if not name:
+            return False
+        value = rest.split(";", 1)[0].strip()
+        existing = self.cookie_jar.get(page.origin, name)
+        if existing is not None:
+            decision = page.monitor.authorize(
+                principal, existing, Operation.WRITE, object_label=existing.label
+            )
+            if decision.denied:
+                return False
+            self.cookie_jar.set(existing.with_value(value))
+            return True
+        # Creating a new cookie: it can never be more privileged than its creator.
+        ring = principal.ring if page.escudo_enabled else Ring(0)
+        new_cookie = Cookie(
+            name=name,
+            value=value,
+            origin=page.origin,
+            ring=ring,
+            acl=Acl.uniform(ring),
+        )
+        decision = page.monitor.authorize(
+            principal, new_cookie, Operation.WRITE, object_label=new_cookie.label
+        )
+        if decision.denied:
+            return False
+        self.cookie_jar.set(new_cookie)
+        return True
+
+    # -- browser state ------------------------------------------------------------------------------------
+
+    def history_for_script(self, page: Page, principal: SecurityContext) -> list[str] | None:
+        """Expose browsing history to a script, subject to mediation.
+
+        Browser state is mandatorily ring 0; only ring-0 principals of the
+        same origin can read it.
+        """
+        state = self.history.protected_objects(page.origin)["history"]
+        decision = page.monitor.authorize(principal, state, Operation.READ, object_label="history")
+        if decision.denied:
+            return None
+        return [str(entry.url) for entry in self.history.entries]
+
+
+def _page_title(page: Page) -> str:
+    titles = page.document.get_elements_by_tag_name("title")
+    return titles[0].text_content if titles else ""
+
+
+def make_browser(network: Network, model: str = "escudo", **kwargs) -> Browser:
+    """Convenience factory mirroring the examples' usage."""
+    return Browser(network, model=model, **kwargs)
+
+
+#: Convenience re-export so callers can build an Origin without importing core.
+__all__ = ["Browser", "LoadedPage", "Origin", "make_browser"]

@@ -1,0 +1,95 @@
+"""Browser state: history and visited-link information.
+
+The paper mandatorily assigns internal browser state to ring 0 -- scripts
+cannot read or manipulate it unless the application put them in ring 0,
+which closes the history-sniffing attacks cited in the paper.  The state
+itself is ordinary bookkeeping; the *objects* exposed for mediation are
+built with :func:`repro.core.objects.browser_state_object`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import SecurityContext
+from repro.core.objects import ProtectedObject, browser_state_object
+from repro.core.origin import Origin
+from repro.http.url import Url
+
+
+@dataclass
+class HistoryEntry:
+    """One visited URL."""
+
+    url: Url
+    title: str = ""
+    sequence: int = 0
+
+
+class BrowserHistory:
+    """Navigation history plus the visited-link set."""
+
+    def __init__(self) -> None:
+        self._entries: list[HistoryEntry] = []
+        self._visited: set[str] = set()
+        self._position = -1
+        self._sequence = 0
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_visit(self, url: Url, title: str = "") -> HistoryEntry:
+        """Append a visit (truncating any forward history)."""
+        self._sequence += 1
+        entry = HistoryEntry(url=url, title=title, sequence=self._sequence)
+        del self._entries[self._position + 1 :]
+        self._entries.append(entry)
+        self._position = len(self._entries) - 1
+        self._visited.add(str(url))
+        return entry
+
+    # -- navigation ------------------------------------------------------------------
+
+    def back(self) -> HistoryEntry | None:
+        """Move back one entry, returning it (or ``None`` at the oldest)."""
+        if self._position <= 0:
+            return None
+        self._position -= 1
+        return self._entries[self._position]
+
+    def forward(self) -> HistoryEntry | None:
+        """Move forward one entry, returning it (or ``None`` at the newest)."""
+        if self._position >= len(self._entries) - 1:
+            return None
+        self._position += 1
+        return self._entries[self._position]
+
+    @property
+    def current(self) -> HistoryEntry | None:
+        """The entry currently displayed."""
+        if 0 <= self._position < len(self._entries):
+            return self._entries[self._position]
+        return None
+
+    # -- queries -----------------------------------------------------------------------
+
+    def is_visited(self, url: Url | str) -> bool:
+        """Whether a URL has been visited in this session."""
+        return str(url) in self._visited
+
+    @property
+    def entries(self) -> list[HistoryEntry]:
+        """Every recorded entry, oldest first."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- mediation objects ------------------------------------------------------------------
+
+    def protected_objects(self, origin: Origin) -> dict[str, ProtectedObject]:
+        """Ring-0 browser-state objects for mediation against ``origin``'s page."""
+        base = SecurityContext.for_infrastructure(origin, "browser state")
+        return {
+            "history": browser_state_object(base, "history"),
+            "visited-links": browser_state_object(base, "visited-links"),
+        }

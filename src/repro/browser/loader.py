@@ -1,0 +1,141 @@
+"""The page-loading pipeline: parse → extract configuration → label → render.
+
+This module is deliberately network-free: it turns a response body plus its
+headers into a fully labelled, rendered :class:`~repro.browser.page.Page`.
+The full browser (:mod:`repro.browser.browser`) wraps it with fetching,
+cookies, script execution and events; the Figure-4 overhead benchmark calls
+it directly so that exactly the activities the paper times (parsing and
+rendering, with and without ESCUDO bookkeeping) are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PageConfiguration
+from repro.core.monitor import ReferenceMonitor
+from repro.core.nonce import NonceValidator
+from repro.core.policy import EscudoPolicy, Policy
+from repro.core.sop import SameOriginPolicy
+from repro.html.parser import TreeBuilder
+from repro.html.tokenizer import tokenize
+from repro.http.url import Url
+
+from .labeler import PageLabeler, document_uses_escudo
+from .page import Page
+from .renderer import Renderer
+
+
+@dataclass
+class LoaderOptions:
+    """Knobs for the loading pipeline.
+
+    ``model`` selects the protection model ("escudo" or "sop").  With the
+    SOP model, the ESCUDO-specific stages (AC-tag labelling, nonce checks)
+    are skipped entirely, which is what the overhead benchmark's baseline
+    ("Without Escudo" in Figure 4) requires.
+    ``render`` can be switched off for parse-only measurements.
+    """
+
+    model: str = "escudo"
+    render: bool = True
+    viewport_width: float = 1024.0
+    enforce_scoping: bool = True
+
+    def build_policy(self) -> Policy:
+        """Instantiate the policy object for this model."""
+        if self.model == "sop" or self.model == "same-origin":
+            return SameOriginPolicy()
+        return EscudoPolicy()
+
+    @property
+    def escudo_bookkeeping(self) -> bool:
+        """Whether the ESCUDO-specific pipeline stages run."""
+        return self.model not in ("sop", "same-origin")
+
+
+def load_page(
+    body: str,
+    url: Url | str,
+    *,
+    configuration: PageConfiguration | None = None,
+    options: LoaderOptions | None = None,
+    monitor: ReferenceMonitor | None = None,
+) -> Page:
+    """Run the full pipeline over a response body.
+
+    Parameters
+    ----------
+    body:
+        The HTML text of the response.
+    url:
+        Where it was loaded from (decides the origin).
+    configuration:
+        The ESCUDO configuration extracted from the response headers.  When
+        omitted, a legacy (no-ESCUDO-headers) configuration is assumed; AC
+        tags in the body can still switch the page into ESCUDO mode.
+    options:
+        Pipeline options (protection model, rendering on/off).
+    monitor:
+        Reference monitor to attach to the page.  A fresh one (with the
+        model chosen by ``options``) is created when omitted.
+    """
+    opts = options or LoaderOptions()
+    page_url = url if isinstance(url, Url) else Url.parse(url)
+    config = configuration if configuration is not None else PageConfiguration.legacy()
+
+    # 1. Parse.  Nonce validation happens during tree construction because
+    #    a rejected </div> changes the resulting tree shape.
+    validator = NonceValidator()
+    builder = TreeBuilder(
+        url=str(page_url),
+        nonce_validator=validator if opts.escudo_bookkeeping else None,
+    )
+    document = builder.build(tokenize(body))
+
+    # 2. Decide whether the page is ESCUDO-enabled (headers OR AC tags).
+    escudo_enabled = bool(opts.escudo_bookkeeping) and (
+        config.escudo_enabled or document_uses_escudo(document)
+    )
+    if escudo_enabled and not config.escudo_enabled:
+        # The page opted in purely through AC tags (the paper's "static page"
+        # configuration path, with no optional headers).  The header-derived
+        # configuration is still the legacy single-ring one at this point, so
+        # upgrade it to the default ring universe or every declared ring
+        # would be clamped to 0 and the configuration silently voided.
+        config = PageConfiguration(
+            cookie_policies=dict(config.cookie_policies),
+            api_policies=dict(config.api_policies),
+            escudo_enabled=True,
+        )
+
+    # 3. Label (extract + track security contexts).
+    labeler = PageLabeler(
+        page_url.origin,
+        config,
+        escudo_enabled=escudo_enabled,
+        enforce_scoping=opts.enforce_scoping,
+    )
+    labeling_stats = labeler.label_document(document)
+
+    # 4. Render.
+    renderer = Renderer(viewport_width=opts.viewport_width)
+    if opts.render:
+        _, render_stats = renderer.render(document)
+    else:
+        from .renderer import RenderStats
+
+        render_stats = RenderStats()
+
+    page_monitor = monitor if monitor is not None else ReferenceMonitor(opts.build_policy())
+    return Page(
+        url=page_url,
+        document=document,
+        configuration=config,
+        monitor=page_monitor,
+        escudo_enabled=escudo_enabled,
+        labeling=labeling_stats,
+        rendering=render_stats,
+        nonce_validator=validator,
+        ignored_end_tags=builder.ignored_end_tags,
+    )

@@ -1,0 +1,186 @@
+"""Synthetic renderer.
+
+The paper's Figure 4 measures "parsing and rendering time" in the Lobo
+browser.  The reproduction has no pixels, but the overhead comparison only
+needs a rendering stage whose cost scales with page size the way layout
+does, so that the ESCUDO bookkeeping added to the pipeline can be expressed
+as a percentage of realistic work.
+
+The renderer builds a box tree from the DOM: block and inline boxes,
+synthetic text measurement (per-character advance widths), and a simple
+flow layout that assigns every box a position and size inside a viewport.
+The amount of arithmetic per element is deliberately comparable to what a
+simple layout engine does, and it is completely deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import Node, NodeType, TextNode
+
+#: Elements laid out as blocks; everything else is treated as inline.
+BLOCK_ELEMENTS = frozenset(
+    {"html", "body", "div", "p", "h1", "h2", "h3", "h4", "ul", "ol", "li", "table",
+     "tr", "td", "th", "form", "blockquote", "pre", "section", "article", "header",
+     "footer", "nav", "fieldset"}
+)
+
+#: Elements that never produce boxes.
+NON_RENDERED = frozenset({"head", "script", "style", "meta", "link", "title"})
+
+#: Synthetic font metrics: per-character advance widths (a small proportional
+#: font table) and line height.  Text measurement walks the glyphs the way a
+#: simple layout engine does, so rendering cost scales with text volume.
+CHAR_WIDTH = 7.2
+LINE_HEIGHT = 16.0
+DEFAULT_VIEWPORT_WIDTH = 1024.0
+
+_ADVANCE_WIDTHS = {
+    " ": 3.6, ".": 3.2, ",": 3.2, "i": 3.4, "l": 3.4, "j": 3.6, "f": 4.2, "t": 4.4,
+    "r": 4.8, "s": 5.8, "a": 6.4, "c": 6.2, "e": 6.4, "o": 6.8, "n": 6.8, "u": 6.8,
+    "m": 10.4, "w": 9.6, "W": 12.2, "M": 11.6, "0": 7.0, "1": 7.0, "2": 7.0,
+}
+
+
+def measure_text(text: str) -> float:
+    """Synthetic text measurement: sum of per-character advance widths."""
+    total = 0.0
+    widths = _ADVANCE_WIDTHS
+    for ch in text:
+        total += widths.get(ch, CHAR_WIDTH)
+    return total
+
+
+@dataclass
+class LayoutBox:
+    """One box in the layout tree."""
+
+    element_tag: str
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+    is_block: bool = True
+    text_length: int = 0
+    text_width: float = 0.0
+    children: list["LayoutBox"] = field(default_factory=list)
+
+    def box_count(self) -> int:
+        """Total number of boxes in this subtree (including this one)."""
+        return 1 + sum(child.box_count() for child in self.children)
+
+
+@dataclass
+class RenderStats:
+    """Aggregate counters describing one rendering pass."""
+
+    boxes: int = 0
+    text_runs: int = 0
+    characters: int = 0
+    document_height: float = 0.0
+    skipped_elements: int = 0
+
+
+class Renderer:
+    """Builds and lays out the box tree for a document."""
+
+    def __init__(self, viewport_width: float = DEFAULT_VIEWPORT_WIDTH) -> None:
+        self.viewport_width = viewport_width
+
+    def render(self, document: Document) -> tuple[LayoutBox, RenderStats]:
+        """Render ``document`` and return the root box plus statistics."""
+        stats = RenderStats()
+        root_element = document.document_element
+        root_box = LayoutBox(element_tag="viewport", width=self.viewport_width, is_block=True)
+        if root_element is not None:
+            child_box = self._build_box(root_element, stats)
+            if child_box is not None:
+                root_box.children.append(child_box)
+        height = self._layout(root_box, 0.0, 0.0, self.viewport_width)
+        root_box.height = height
+        stats.document_height = height
+        stats.boxes = root_box.box_count()
+        return root_box, stats
+
+    # -- box construction -----------------------------------------------------------
+
+    def _build_box(self, node: Node, stats: RenderStats) -> LayoutBox | None:
+        if node.node_type is NodeType.TEXT:
+            assert isinstance(node, TextNode)
+            text = node.data.strip()
+            if not text:
+                return None
+            stats.text_runs += 1
+            stats.characters += len(text)
+            return LayoutBox(
+                element_tag="#text",
+                is_block=False,
+                text_length=len(text),
+                text_width=measure_text(text),
+            )
+        if not isinstance(node, Element):
+            return None
+        if node.tag_name in NON_RENDERED:
+            stats.skipped_elements += 1
+            return None
+        box = LayoutBox(element_tag=node.tag_name, is_block=node.tag_name in BLOCK_ELEMENTS)
+        for child in node.children:
+            child_box = self._build_box(child, stats)
+            if child_box is not None:
+                box.children.append(child_box)
+        return box
+
+    # -- layout ------------------------------------------------------------------------
+
+    def _layout(self, box: LayoutBox, x: float, y: float, available_width: float) -> float:
+        """Flow layout: returns the height consumed by ``box``."""
+        box.x = x
+        box.y = y
+        box.width = available_width if box.is_block else min(available_width, box.text_width)
+        if not box.children:
+            if box.element_tag == "#text":
+                # Wrap the text run into as many lines as the width requires.
+                usable = max(available_width, CHAR_WIDTH)
+                lines = max(1, -(-int(box.text_width) // int(usable)))
+                box.height = lines * LINE_HEIGHT
+            else:
+                box.height = LINE_HEIGHT if not box.is_block else 0.0
+            return box.height
+
+        cursor_y = y
+        cursor_x = x
+        line_height = 0.0
+        total_height = 0.0
+        for child in box.children:
+            if child.is_block:
+                if line_height:
+                    cursor_y += line_height
+                    total_height += line_height
+                    line_height = 0.0
+                    cursor_x = x
+                consumed = self._layout(child, x, cursor_y, available_width)
+                cursor_y += consumed
+                total_height += consumed
+            else:
+                child_width = max(child.text_width, CHAR_WIDTH)
+                if cursor_x + child_width > x + available_width and cursor_x > x:
+                    cursor_y += max(line_height, LINE_HEIGHT)
+                    total_height += max(line_height, LINE_HEIGHT)
+                    cursor_x = x
+                    line_height = 0.0
+                consumed = self._layout(child, cursor_x, cursor_y, available_width - (cursor_x - x))
+                cursor_x += child_width
+                line_height = max(line_height, consumed)
+        if line_height:
+            total_height += line_height
+        box.height = total_height
+        return total_height
+
+
+def render_document(document: Document, viewport_width: float = DEFAULT_VIEWPORT_WIDTH) -> RenderStats:
+    """Convenience wrapper returning only the statistics."""
+    _, stats = Renderer(viewport_width).render(document)
+    return stats

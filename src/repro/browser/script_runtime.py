@@ -1,0 +1,456 @@
+"""Script runtime: binds MiniScript programs to the mediated browser APIs.
+
+Every script principal on a page -- a ``<script>`` element, an inline UI
+event handler, a callback registered with ``addEventListener`` -- executes
+in an environment built by :class:`ScriptRuntime`.  The environment exposes:
+
+* ``document`` -- a :class:`DocumentBinding` over the mediated DOM API
+  (:class:`~repro.dom.dom_api.DomApi`) bound to *that principal's* security
+  context, plus ``document.cookie`` whose reads and writes are mediated
+  against each cookie's ring/ACL;
+* ``window`` -- ``alert``, ``location`` (navigation attempts are recorded,
+  which the XSS experiments use to detect exfiltration), ``setTimeout``
+  (synchronous in this reproduction);
+* ``console.log``;
+* ``XMLHttpRequest`` -- the mediated native API from
+  :mod:`repro.browser.xhr`.
+
+Because the bindings are built per principal, two scripts on the same page
+in different rings see the *same* DOM but with different privileges -- the
+heart of the ESCUDO model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.context import SecurityContext
+from repro.dom.dom_api import DomApi, ElementHandle
+from repro.dom.element import Element
+from repro.scripting.errors import RuntimeScriptError
+from repro.scripting.interpreter import (
+    HostObject,
+    Interpreter,
+    NativeConstructor,
+    NativeFunction,
+)
+
+from .page import Page, RegisteredListener, ScriptRun
+from .xhr import XmlHttpRequest
+
+
+class ElementBinding(HostObject):
+    """Script-visible element wrapper (delegates to the mediated handle)."""
+
+    host_name = "Element"
+
+    def __init__(self, handle: ElementHandle, runtime: "_PrincipalEnvironment") -> None:
+        self._handle = handle
+        self._runtime = runtime
+
+    # -- reads -----------------------------------------------------------------------
+
+    def js_get(self, name: str):
+        handle = self._handle
+        if name == "innerHTML":
+            value = handle.inner_html
+            return value if value is not None else None
+        if name == "textContent" or name == "innerText":
+            return handle.text_content
+        if name == "tagName":
+            return handle.tag_name.upper()
+        if name == "id":
+            return handle.id
+        if name == "getAttribute":
+            return NativeFunction(lambda attr: handle.get_attribute(str(attr)), "getAttribute")
+        if name == "setAttribute":
+            return NativeFunction(
+                lambda attr, value: handle.set_attribute(str(attr), str(value)), "setAttribute"
+            )
+        if name == "appendChild":
+            return NativeFunction(self._append_child, "appendChild")
+        if name == "removeChild":
+            return NativeFunction(self._remove_child, "removeChild")
+        if name == "addEventListener":
+            return NativeFunction(self._add_event_listener, "addEventListener")
+        if name == "querySelector":
+            return NativeFunction(self._query_selector, "querySelector")
+        if name == "querySelectorAll":
+            return NativeFunction(self._query_selector_all, "querySelectorAll")
+        if name == "value":
+            return handle.get_attribute("value")
+        raise RuntimeScriptError(f"element has no property {name!r}")
+
+    # -- writes ------------------------------------------------------------------------
+
+    def js_set(self, name: str, value) -> None:
+        handle = self._handle
+        if name == "innerHTML":
+            handle.set_inner_html(str(value) if value is not None else "")
+            return
+        if name == "textContent" or name == "innerText":
+            handle.set_text_content(str(value) if value is not None else "")
+            return
+        if name == "value":
+            handle.set_attribute("value", str(value))
+            return
+        if name.startswith("on") and callable(value):
+            self._add_event_listener(name[2:], value)
+            return
+        if name == "id" or name == "className":
+            handle.set_attribute("id" if name == "id" else "class", str(value))
+            return
+        raise RuntimeScriptError(f"element property {name!r} is not writable")
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _append_child(self, child) -> bool:
+        if isinstance(child, ElementBinding):
+            return self._handle.append_child(child._handle)
+        raise RuntimeScriptError("appendChild expects an element")
+
+    def _remove_child(self, child) -> bool:
+        if isinstance(child, ElementBinding):
+            return self._handle.remove_child(child._handle)
+        raise RuntimeScriptError("removeChild expects an element")
+
+    def _add_event_listener(self, event_type, callback) -> bool:
+        return self._runtime.register_listener(
+            self._handle.unwrap_for_browser(), str(event_type), callback
+        )
+
+    def _query_selector(self, selector):
+        found = self._handle.query_selector(str(selector))
+        return ElementBinding(found, self._runtime) if found is not None else None
+
+    def _query_selector_all(self, selector):
+        return [ElementBinding(h, self._runtime) for h in self._handle.query_selector_all(str(selector))]
+
+
+class DocumentBinding(HostObject):
+    """The ``document`` global."""
+
+    host_name = "Document"
+
+    def __init__(self, dom_api: DomApi, runtime: "_PrincipalEnvironment") -> None:
+        self._api = dom_api
+        self._runtime = runtime
+
+    def js_get(self, name: str):
+        if name == "getElementById":
+            return NativeFunction(self._get_element_by_id, "getElementById")
+        if name == "querySelector":
+            return NativeFunction(self._query_selector, "querySelector")
+        if name == "querySelectorAll":
+            return NativeFunction(self._query_selector_all, "querySelectorAll")
+        if name == "getElementsByTagName":
+            return NativeFunction(self._get_elements_by_tag_name, "getElementsByTagName")
+        if name == "createElement":
+            return NativeFunction(self._create_element, "createElement")
+        if name == "write":
+            return NativeFunction(self._write, "write")
+        if name == "body":
+            body = self._api.body
+            return ElementBinding(body, self._runtime) if body is not None else None
+        if name == "head":
+            head = self._api.head
+            return ElementBinding(head, self._runtime) if head is not None else None
+        if name == "title":
+            return self._api.title
+        if name == "cookie":
+            return self._runtime.read_cookies()
+        if name == "location":
+            return self._runtime.window.js_get("location")
+        raise RuntimeScriptError(f"document has no property {name!r}")
+
+    def js_set(self, name: str, value) -> None:
+        if name == "cookie":
+            self._runtime.write_cookie(str(value))
+            return
+        if name == "location":
+            self._runtime.window.js_get("location").js_set("href", value)
+            return
+        raise RuntimeScriptError(f"document property {name!r} is not writable")
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _wrap(self, handle: ElementHandle | None):
+        return ElementBinding(handle, self._runtime) if handle is not None else None
+
+    def _get_element_by_id(self, element_id):
+        return self._wrap(self._api.get_element_by_id(str(element_id)))
+
+    def _query_selector(self, selector):
+        return self._wrap(self._api.query_selector(str(selector)))
+
+    def _query_selector_all(self, selector):
+        return [self._wrap(h) for h in self._api.query_selector_all(str(selector))]
+
+    def _get_elements_by_tag_name(self, tag_name):
+        return [self._wrap(h) for h in self._api.get_elements_by_tag_name(str(tag_name))]
+
+    def _create_element(self, tag_name):
+        return self._wrap(self._api.create_element(str(tag_name)))
+
+    def _write(self, markup) -> bool:
+        """``document.write``: append markup to the body (mediated)."""
+        body = self._api.body
+        if body is None:
+            return False
+        current = body.inner_html
+        if current is None:
+            return False
+        return body.set_inner_html(current + str(markup))
+
+
+class LocationBinding(HostObject):
+    """``window.location``: navigation attempts are recorded, not performed."""
+
+    host_name = "Location"
+
+    def __init__(self, runtime: "_PrincipalEnvironment") -> None:
+        self._runtime = runtime
+
+    def js_get(self, name: str):
+        url = self._runtime.page.url
+        if name == "href":
+            return str(url)
+        if name == "host":
+            return url.host
+        if name == "pathname":
+            return url.path
+        if name == "protocol":
+            return url.scheme + ":"
+        if name == "search":
+            return f"?{url.query}" if url.query else ""
+        if name == "assign" or name == "replace":
+            return NativeFunction(lambda target: self.js_set("href", target), name)
+        raise RuntimeScriptError(f"location has no property {name!r}")
+
+    def js_set(self, name: str, value) -> None:
+        if name == "href":
+            self._runtime.record_navigation(str(value))
+            return
+        raise RuntimeScriptError(f"location property {name!r} is not writable")
+
+
+class WindowBinding(HostObject):
+    """The ``window`` global."""
+
+    host_name = "Window"
+
+    def __init__(self, runtime: "_PrincipalEnvironment") -> None:
+        self._runtime = runtime
+        self._location = LocationBinding(runtime)
+
+    def js_get(self, name: str):
+        if name == "alert":
+            return NativeFunction(self._runtime.record_alert, "alert")
+        if name == "location":
+            return self._location
+        if name == "setTimeout":
+            return NativeFunction(self._set_timeout, "setTimeout")
+        if name == "document":
+            return self._runtime.document_binding
+        if name == "console":
+            return self._runtime.console_binding
+        raise RuntimeScriptError(f"window has no property {name!r}")
+
+    def js_set(self, name: str, value) -> None:
+        if name == "location":
+            self._location.js_set("href", value)
+            return
+        raise RuntimeScriptError(f"window property {name!r} is not writable")
+
+    def _set_timeout(self, callback, _delay=0):
+        """Synchronous ``setTimeout``: the callback runs immediately."""
+        return self._runtime.invoke(callback, [])
+
+
+class ConsoleBinding(HostObject):
+    """``console.log`` (collected per runtime for tests and examples)."""
+
+    host_name = "Console"
+
+    def __init__(self, sink: list[str]) -> None:
+        self._sink = sink
+
+    def js_get(self, name: str):
+        if name in ("log", "info", "warn", "error"):
+            return NativeFunction(self._log, name)
+        raise RuntimeScriptError(f"console has no property {name!r}")
+
+    def _log(self, *parts) -> None:
+        from repro.scripting.interpreter import _to_string
+
+        self._sink.append(" ".join(_to_string(part) for part in parts))
+
+
+@dataclass
+class RuntimeObservations:
+    """Side effects collected across every script run on a page."""
+
+    alerts: list[str] = field(default_factory=list)
+    console: list[str] = field(default_factory=list)
+    navigations: list[tuple[str, str]] = field(default_factory=list)  # (principal label, target URL)
+
+    def navigation_targets(self) -> list[str]:
+        """Just the attempted navigation URLs."""
+        return [target for _, target in self.navigations]
+
+
+class _PrincipalEnvironment:
+    """Everything one principal's script execution needs."""
+
+    def __init__(self, runtime: "ScriptRuntime", principal: SecurityContext) -> None:
+        self.runtime = runtime
+        self.page = runtime.page
+        self.principal = principal
+        self.interpreter = Interpreter(max_steps=runtime.max_steps)
+        self.dom_api = DomApi(
+            self.page.document,
+            self.page.monitor,
+            principal,
+            api_object=self.page.dom_api_context(),
+            listener_registry=self._register_raw_listener,
+        )
+        self.document_binding = DocumentBinding(self.dom_api, self)
+        self.console_binding = ConsoleBinding(runtime.observations.console)
+        self.window = WindowBinding(self)
+        self._install_globals()
+
+    # -- environment ------------------------------------------------------------------
+
+    def _install_globals(self) -> None:
+        interpreter = self.interpreter
+        interpreter.globals.define("document", self.document_binding)
+        interpreter.globals.define("window", self.window)
+        interpreter.globals.define("console", self.console_binding)
+        interpreter.globals.define("alert", NativeFunction(self.record_alert, "alert"))
+        interpreter.globals.define("location", self.window.js_get("location"))
+        interpreter.globals.define(
+            "XMLHttpRequest",
+            NativeConstructor(
+                lambda *args: XmlHttpRequest(
+                    self.runtime.browser, self.page, self.principal, invoke=self.invoke
+                ),
+                "XMLHttpRequest",
+            ),
+        )
+
+    # -- cookies -----------------------------------------------------------------------
+
+    def read_cookies(self) -> str:
+        """``document.cookie`` getter for this principal."""
+        return self.runtime.browser.read_cookie_string(self.page, self.principal)
+
+    def write_cookie(self, cookie_string: str) -> bool:
+        """``document.cookie`` setter for this principal."""
+        return self.runtime.browser.write_cookie_string(self.page, self.principal, cookie_string)
+
+    # -- observations ---------------------------------------------------------------------
+
+    def record_alert(self, *parts) -> None:
+        from repro.scripting.interpreter import _to_string
+
+        self.runtime.observations.alerts.append(" ".join(_to_string(p) for p in parts))
+
+    def record_navigation(self, target: str) -> None:
+        self.runtime.observations.navigations.append((self.principal.label, target))
+
+    # -- listeners & callbacks ---------------------------------------------------------------
+
+    def register_listener(self, element: Element, event_type: str, callback) -> bool:
+        """Register ``callback`` (a script function) for later dispatch."""
+        handle = self.dom_api.wrap(element)
+        return handle.add_event_listener(event_type, callback)
+
+    def _register_raw_listener(self, element: Element, event_type: str, callback) -> None:
+        """Hook invoked by the DOM API once the ``write`` check passed."""
+        principal = self.principal
+        environment = self
+
+        def dispatcher_callback(event) -> None:
+            payload = {
+                "type": event.event_type,
+                "targetId": event.target.id if event.target is not None else None,
+            }
+            environment.invoke(callback, [payload])
+
+        self.page.register_listener(
+            RegisteredListener(
+                element=element,
+                event_type=event_type,
+                callback=dispatcher_callback,
+                principal=principal,
+            )
+        )
+
+    def invoke(self, callback, args: list):
+        """Invoke a script function (or native callable) in this environment."""
+        try:
+            return self.interpreter.call_function(callback, args)
+        except Exception as error:  # noqa: BLE001 - script faults must not kill the browser
+            self.runtime.observations.console.append(f"[script error] {error}")
+            return None
+
+
+class ScriptRuntime:
+    """Runs all the script principals of one page."""
+
+    def __init__(self, browser, page: Page, *, max_steps: int = 500_000) -> None:
+        self.browser = browser
+        self.page = page
+        self.max_steps = max_steps
+        self.observations = RuntimeObservations()
+
+    # -- execution entry points ----------------------------------------------------------
+
+    def run_document_scripts(self) -> list[ScriptRun]:
+        """Execute every ``<script>`` element in document order."""
+        runs: list[ScriptRun] = []
+        for index, script_element in enumerate(self.page.document.scripts()):
+            source = self._script_source(script_element)
+            if not source.strip():
+                continue
+            principal = self.page.principal_context_for(script_element)
+            description = f"script#{index} ring {principal.ring.level}"
+            runs.append(self.execute(source, principal, description=description))
+        return runs
+
+    def execute(self, source: str, principal: SecurityContext, *, description: str = "inline script") -> ScriptRun:
+        """Execute one script under ``principal`` and record the run."""
+        environment = _PrincipalEnvironment(self, principal)
+        result = environment.interpreter.run(source)
+        run = ScriptRun(description=description, principal=principal, result=result)
+        self.page.script_runs.append(run)
+        return run
+
+    def execute_handler(self, source: str, principal: SecurityContext, event_payload: dict, *,
+                        description: str = "inline handler") -> ScriptRun:
+        """Execute an inline event handler with ``event`` bound."""
+        environment = _PrincipalEnvironment(self, principal)
+        environment.interpreter.globals.define("event", event_payload)
+        result = environment.interpreter.run(source)
+        run = ScriptRun(description=description, principal=principal, result=result)
+        self.page.script_runs.append(run)
+        return run
+
+    # -- helpers --------------------------------------------------------------------------------
+
+    def _script_source(self, script_element: Element) -> str:
+        """Inline source, or the fetched body of a ``src`` script."""
+        src = script_element.get_attribute("src")
+        if not src:
+            return script_element.text_content
+        principal = self.page.principal_context_for(script_element)
+        target = self.page.url.resolve(src)
+        response = self.browser.issue_request(
+            page=self.page,
+            principal=principal,
+            method="GET",
+            url=target,
+            initiator_label=f"script-src:{src}",
+        )
+        return response.body if response.ok else ""

@@ -1,0 +1,141 @@
+"""The ``XMLHttpRequest`` native API.
+
+``XMLHttpRequest`` is one of the native-code objects of Table 1: web
+applications may assign it a ring via the ``X-Escudo-Api-Policy`` header
+(default: ring 0, fail-safe), and a script may only *use* it when its ring
+passes the ACL's ``use`` entry.  A denied ``send()`` is neutralised -- the
+request never reaches the network, ``status`` stays 0 and ``responseText``
+stays empty -- mirroring how the prototype blocks unauthorised AJAX.
+
+Requests that are allowed go through the browser's common request path, so
+cookie attachment is mediated exactly like for form submissions and links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.context import SecurityContext
+from repro.core.decision import Operation
+from repro.http.headers import Headers
+from repro.scripting.errors import RuntimeScriptError
+from repro.scripting.interpreter import HostObject, NativeFunction
+
+from .page import Page
+
+
+class XmlHttpRequest(HostObject):
+    """Script-visible XHR object bound to one principal on one page."""
+
+    host_name = "XMLHttpRequest"
+
+    def __init__(
+        self,
+        browser,
+        page: Page,
+        principal: SecurityContext,
+        *,
+        invoke: Callable[[object, list], object] | None = None,
+    ) -> None:
+        self._browser = browser
+        self._page = page
+        self._principal = principal
+        self._invoke = invoke
+        self._method = "GET"
+        self._url_text: str | None = None
+        self._request_headers = Headers()
+        self._response_headers = Headers()
+        self.status = 0.0
+        self.response_text = ""
+        self.ready_state = 0.0
+        self._onload = None
+        self._onreadystatechange = None
+        self.denied = False
+
+    # -- script-facing protocol ------------------------------------------------------
+
+    def js_get(self, name: str):
+        members = {
+            "open": NativeFunction(self._open, "open"),
+            "send": NativeFunction(self._send, "send"),
+            "setRequestHeader": NativeFunction(self._set_request_header, "setRequestHeader"),
+            "getResponseHeader": NativeFunction(self._get_response_header, "getResponseHeader"),
+            "abort": NativeFunction(self._abort, "abort"),
+            "status": self.status,
+            "responseText": self.response_text,
+            "readyState": self.ready_state,
+            "onload": self._onload,
+            "onreadystatechange": self._onreadystatechange,
+        }
+        if name not in members:
+            raise RuntimeScriptError(f"XMLHttpRequest has no property {name!r}")
+        return members[name]
+
+    def js_set(self, name: str, value) -> None:
+        if name == "onload":
+            self._onload = value
+            return
+        if name == "onreadystatechange":
+            self._onreadystatechange = value
+            return
+        raise RuntimeScriptError(f"XMLHttpRequest property {name!r} is not writable")
+
+    # -- behaviour ----------------------------------------------------------------------
+
+    def _open(self, method, url, *_ignored) -> None:
+        self._method = str(method).upper()
+        self._url_text = str(url)
+        self.ready_state = 1.0
+
+    def _set_request_header(self, name, value) -> None:
+        self._request_headers.set(str(name), str(value))
+
+    def _get_response_header(self, name) -> str | None:
+        return self._response_headers.get(str(name))
+
+    def _abort(self) -> None:
+        self.ready_state = 0.0
+        self.status = 0.0
+        self.response_text = ""
+
+    def _send(self, body=None) -> None:
+        if self._url_text is None:
+            raise RuntimeScriptError("XMLHttpRequest.send() called before open()")
+
+        # Mediation: the principal must be allowed to *use* the XHR API object.
+        api_context = self._page.api_context("XMLHttpRequest")
+        decision = self._page.monitor.authorize(
+            self._principal,
+            api_context,
+            Operation.USE,
+            object_label="XMLHttpRequest (native-api)",
+        )
+        if decision.denied:
+            self.denied = True
+            self.status = 0.0
+            self.response_text = ""
+            self.ready_state = 4.0
+            self._fire_callbacks()
+            return
+
+        target = self._page.url.resolve(self._url_text)
+        response = self._browser.issue_request(
+            page=self._page,
+            principal=self._principal,
+            method=self._method,
+            url=target,
+            body=str(body) if body is not None else "",
+            headers=self._request_headers,
+            initiator_label=f"xhr:{self._principal.label}",
+        )
+        self.status = float(response.status)
+        self.response_text = response.body
+        self._response_headers = response.headers
+        self.ready_state = 4.0
+        self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        for callback in (self._onreadystatechange, self._onload):
+            if callback is None or self._invoke is None:
+                continue
+            self._invoke(callback, [])

@@ -1,0 +1,220 @@
+"""Operations, rules and access decisions.
+
+The ESCUDO MAC policy evaluates an access request ``<P ▷ O>`` against three
+rules (origin, ring, ACL).  The reference monitor reports its verdict as an
+:class:`AccessDecision`, which records which rules were evaluated, which rule
+(if any) denied the request, and a human-readable reason.  Decisions are
+plain immutable values so they can be logged, asserted on in tests, and
+aggregated by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class Operation(str, enum.Enum):
+    """The three operations ESCUDO ACLs distinguish.
+
+    ``READ`` and ``WRITE`` have their usual meaning.  ``USE`` covers implicit
+    accesses the browser performs on behalf of a principal -- attaching
+    cookies to an HTTP request the principal initiated, delivering a UI event
+    to a DOM element, or invoking a native API such as ``XMLHttpRequest``.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    USE = "use"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Operation":
+        """Parse an operation name (accepts the short ``r``/``w``/``x`` forms)."""
+        normalized = text.strip().lower()
+        try:
+            return _OPERATION_ALIASES[normalized]
+        except KeyError:
+            from .errors import UnknownOperationError
+
+            raise UnknownOperationError(f"unknown operation {text!r}") from None
+
+    @property
+    def short_name(self) -> str:
+        """The single-letter attribute name used in AC tags (``r``/``w``/``x``)."""
+        return {"read": "r", "write": "w", "use": "x"}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Parsed once at import time; Operation.from_text runs on hot labelling paths.
+_OPERATION_ALIASES = {
+    "r": Operation.READ,
+    "read": Operation.READ,
+    "w": Operation.WRITE,
+    "write": Operation.WRITE,
+    "x": Operation.USE,
+    "use": Operation.USE,
+    "execute": Operation.USE,
+}
+
+
+class Rule(str, enum.Enum):
+    """The individual rules making up the ESCUDO policy.
+
+    ``TAMPER`` is not one of the paper's three access rules; it labels
+    denials produced by the anti-tampering protections of Section 5
+    (configuration attributes are never writable from scripts).
+    """
+
+    ORIGIN = "origin-rule"
+    RING = "ring-rule"
+    ACL = "acl-rule"
+    TAMPER = "tamper-protection"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Verdict(str, enum.Enum):
+    """Final outcome of an access request."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.ALLOW
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """Outcome of evaluating one rule for one access request."""
+
+    rule: Rule
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "pass" if self.passed else "FAIL"
+        if self.detail:
+            return f"{self.rule.value}: {status} ({self.detail})"
+        return f"{self.rule.value}: {status}"
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The reference monitor's verdict on a single access request.
+
+    Attributes
+    ----------
+    verdict:
+        ``ALLOW`` or ``DENY``.
+    operation:
+        The requested :class:`Operation`.
+    principal_label:
+        Short description of the requesting principal (for logs and reports).
+    object_label:
+        Short description of the target object.
+    outcomes:
+        Per-rule evaluation results, in the order the rules were applied.
+    policy:
+        Name of the policy model that produced the decision (``"escudo"`` or
+        ``"same-origin"``), so mixed-model experiments can attribute results.
+    """
+
+    verdict: Verdict
+    operation: Operation
+    principal_label: str
+    object_label: str
+    outcomes: tuple[RuleOutcome, ...] = field(default_factory=tuple)
+    policy: str = "escudo"
+
+    @property
+    def allowed(self) -> bool:
+        """True when the access was permitted."""
+        return self.verdict is Verdict.ALLOW
+
+    @property
+    def denied(self) -> bool:
+        """True when the access was refused."""
+        return self.verdict is Verdict.DENY
+
+    @property
+    def denying_rule(self) -> Rule | None:
+        """The first rule that failed, or ``None`` for allowed requests."""
+        for outcome in self.outcomes:
+            if not outcome.passed:
+                return outcome.rule
+        return None
+
+    def outcome_for(self, rule: Rule) -> RuleOutcome | None:
+        """Return the evaluation result of ``rule``, if it was evaluated."""
+        for outcome in self.outcomes:
+            if outcome.rule is rule:
+                return outcome
+        return None
+
+    def as_dict(self) -> Mapping[str, object]:
+        """Serialise the decision for logging / benchmark reports."""
+        return {
+            "verdict": self.verdict.value,
+            "operation": self.operation.value,
+            "principal": self.principal_label,
+            "object": self.object_label,
+            "policy": self.policy,
+            "denying_rule": self.denying_rule.value if self.denying_rule else None,
+            "outcomes": [
+                {"rule": o.rule.value, "passed": o.passed, "detail": o.detail}
+                for o in self.outcomes
+            ],
+        }
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def __str__(self) -> str:
+        status = "ALLOW" if self.allowed else "DENY"
+        parts = [f"{status} {self.operation.value} {self.principal_label} -> {self.object_label}"]
+        if self.denied and self.denying_rule is not None:
+            parts.append(f"denied by {self.denying_rule.value}")
+        return " | ".join(parts)
+
+
+def allow(
+    operation: Operation,
+    principal_label: str,
+    object_label: str,
+    outcomes: tuple[RuleOutcome, ...] = (),
+    policy: str = "escudo",
+) -> AccessDecision:
+    """Convenience constructor for an allowing decision."""
+    return AccessDecision(
+        verdict=Verdict.ALLOW,
+        operation=operation,
+        principal_label=principal_label,
+        object_label=object_label,
+        outcomes=outcomes,
+        policy=policy,
+    )
+
+
+def deny(
+    operation: Operation,
+    principal_label: str,
+    object_label: str,
+    outcomes: tuple[RuleOutcome, ...] = (),
+    policy: str = "escudo",
+) -> AccessDecision:
+    """Convenience constructor for a denying decision."""
+    return AccessDecision(
+        verdict=Verdict.DENY,
+        operation=operation,
+        principal_label=principal_label,
+        object_label=object_label,
+        outcomes=outcomes,
+        policy=policy,
+    )

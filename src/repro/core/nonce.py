@@ -1,0 +1,128 @@
+"""Markup randomisation (nonces) for AC tags.
+
+Section 5 of the paper: node-splitting attacks prematurely terminate a
+``div`` region with an injected ``</div>`` and open a new, higher-privileged
+region.  ESCUDO defeats this with *markup randomisation*: the server embeds a
+random nonce in each AC ``div`` tag and repeats it on the matching ``</div>``
+terminator.  The browser ignores any ``</div>`` whose nonce does not match
+the nonce of the AC tag it would close.  Because the nonces are generated
+freshly for every response, an attacker who injects content cannot predict
+them.
+
+Two components live here:
+
+* :class:`NonceGenerator` -- server-side helper used by the template engine
+  (:mod:`repro.webapps.templates`) to mint per-response nonces.  It accepts a
+  seed so tests and benchmarks are reproducible.
+* :class:`NonceValidator` -- browser-side matcher used by the HTML tree
+  builder to decide whether a closing tag is legitimate, and a strict
+  auditing mode that raises :class:`~repro.core.errors.NonceError` for
+  server-side template validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import NonceError
+
+#: Attribute name carrying the nonce on AC tags and their terminators.
+NONCE_ATTRIBUTE = "nonce"
+
+
+class NonceGenerator:
+    """Mints unpredictable per-tag nonces for one HTTP response.
+
+    The generator is deterministic given ``(seed, counter)`` which keeps unit
+    tests and benchmarks reproducible, while remaining unpredictable to page
+    content: the seed is chosen by the server per response and never appears
+    in the page except through the nonces themselves (which are hashed, so
+    one nonce does not reveal the next).
+    """
+
+    def __init__(self, seed: str | int | None = None) -> None:
+        self._seed = str(seed) if seed is not None else None
+        self._counter = itertools.count(1)
+
+    def next_nonce(self) -> str:
+        """Return the next nonce value as a short hexadecimal token."""
+        index = next(self._counter)
+        if self._seed is None:
+            import secrets
+
+            return secrets.token_hex(8)
+        digest = hashlib.sha256(f"{self._seed}:{index}".encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next_nonce()
+
+
+@dataclass
+class NonceMismatch:
+    """Record of a rejected closing tag (a likely node-splitting attempt)."""
+
+    expected: str | None
+    found: str | None
+    context: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"nonce mismatch: expected {self.expected!r}, found {self.found!r}"
+            + (f" ({self.context})" if self.context else "")
+        )
+
+
+@dataclass
+class NonceValidator:
+    """Browser-side nonce matching.
+
+    The HTML tree builder consults :meth:`matches` whenever it encounters a
+    ``</div>`` that would close an AC tag.  If the nonces disagree the
+    terminator is *ignored* (the paper's behaviour), and the mismatch is
+    recorded so the defence-effectiveness benchmark can report how many
+    node-splitting attempts were neutralised.
+    """
+
+    strict: bool = False
+    mismatches: list[NonceMismatch] = field(default_factory=list)
+
+    def matches(self, opening_nonce: str | None, closing_nonce: str | None, *, context: str = "") -> bool:
+        """Decide whether a closing tag legitimately closes its AC tag.
+
+        * If the opening tag carried no nonce, any terminator matches (the
+          application chose not to use markup randomisation for this scope).
+        * Otherwise the terminator must carry the identical nonce.
+        """
+        if opening_nonce is None:
+            return True
+        if closing_nonce is not None and _constant_time_equal(opening_nonce, closing_nonce):
+            return True
+        mismatch = NonceMismatch(expected=opening_nonce, found=closing_nonce, context=context)
+        self.mismatches.append(mismatch)
+        if self.strict:
+            raise NonceError(str(mismatch))
+        return False
+
+    @property
+    def rejected_count(self) -> int:
+        """Number of terminators rejected so far."""
+        return len(self.mismatches)
+
+    def reset(self) -> None:
+        """Clear recorded mismatches (new page load)."""
+        self.mismatches.clear()
+
+
+def _constant_time_equal(left: str, right: str) -> bool:
+    """Constant-time string comparison, so nonce checks do not leak timing."""
+    if len(left) != len(right):
+        return False
+    result = 0
+    for a, b in zip(left, right):
+        result |= ord(a) ^ ord(b)
+    return result == 0

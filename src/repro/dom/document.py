@@ -1,0 +1,127 @@
+"""The Document node.
+
+A :class:`Document` is the root of one parsed page.  It records the URL and
+origin the page was loaded from, provides element factories (used both by
+the parser and by the mediated DOM API), and offers the usual lookup helpers
+(``get_element_by_id``, ``get_elements_by_tag_name``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.origin import Origin
+
+from .element import Element
+from .node import CommentNode, Node, NodeType, TextNode
+
+
+class Document(Node):
+    """Root node of a parsed web page."""
+
+    node_type = NodeType.DOCUMENT
+
+    def __init__(self, url: str = "about:blank") -> None:
+        super().__init__()
+        self.url = url
+        self.owner_document = self
+        self.doctype: str | None = None
+
+    # -- identity ------------------------------------------------------------------
+
+    @property
+    def origin(self) -> Origin | None:
+        """The document's origin, or ``None`` for ``about:blank``."""
+        try:
+            return Origin.parse(self.url)
+        except Exception:
+            return None
+
+    # -- factories ------------------------------------------------------------------
+
+    def create_element(self, tag_name: str, attributes: dict[str, str] | None = None) -> Element:
+        """Create a detached element owned by this document."""
+        element = Element(tag_name, attributes)
+        element.owner_document = self
+        return element
+
+    def create_text_node(self, data: str) -> TextNode:
+        """Create a detached text node owned by this document."""
+        node = TextNode(data)
+        node.owner_document = self
+        return node
+
+    def create_comment(self, data: str) -> CommentNode:
+        """Create a detached comment node owned by this document."""
+        node = CommentNode(data)
+        node.owner_document = self
+        return node
+
+    # -- well-known elements ------------------------------------------------------------
+
+    @property
+    def document_element(self) -> Optional[Element]:
+        """The root ``<html>`` element (or the first element child)."""
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    @property
+    def head(self) -> Optional[Element]:
+        """The ``<head>`` element, if present."""
+        return self._find_direct("head")
+
+    @property
+    def body(self) -> Optional[Element]:
+        """The ``<body>`` element, if present."""
+        return self._find_direct("body")
+
+    def _find_direct(self, tag_name: str) -> Optional[Element]:
+        root = self.document_element
+        if root is None:
+            return None
+        if root.tag_name == tag_name:
+            return root
+        for child in root.element_children():
+            if child.tag_name == tag_name:
+                return child
+        for el in self.elements():
+            if el.tag_name == tag_name:
+                return el
+        return None
+
+    # -- lookups --------------------------------------------------------------------------
+
+    def elements(self) -> Iterator[Element]:
+        """All elements in document order."""
+        for node in self.descendants():
+            if isinstance(node, Element):
+                yield node
+
+    def get_element_by_id(self, element_id: str) -> Optional[Element]:
+        """First element with the given ``id``."""
+        for element in self.elements():
+            if element.id == element_id:
+                return element
+        return None
+
+    def get_elements_by_tag_name(self, tag_name: str) -> list[Element]:
+        """Every element with the given tag name."""
+        wanted = tag_name.lower()
+        return [el for el in self.elements() if el.tag_name == wanted]
+
+    def get_elements_by_class_name(self, class_name: str) -> list[Element]:
+        """Every element whose ``class`` attribute contains ``class_name``."""
+        return [el for el in self.elements() if class_name in el.class_list]
+
+    def scripts(self) -> list[Element]:
+        """Every ``<script>`` element, in document order."""
+        return self.get_elements_by_tag_name("script")
+
+    def count_elements(self) -> int:
+        """Total number of elements (used by the benchmark reports)."""
+        return sum(1 for _ in self.elements())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document {self.url!r} elements={self.count_elements()}>"

@@ -1,0 +1,178 @@
+"""DOM node base classes.
+
+The browser represents a parsed page as a tree of nodes: elements, text,
+comments and the document root.  This module provides the structural layer
+-- parent/child links, insertion and removal, tree traversal -- with no
+security semantics.  Mediation lives one layer up, in
+:mod:`repro.dom.dom_api`, which is the only surface scripts can reach.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+
+class NodeType(enum.IntEnum):
+    """Subset of DOM node types the reproduction models."""
+
+    ELEMENT = 1
+    TEXT = 3
+    COMMENT = 8
+    DOCUMENT = 9
+
+
+class Node:
+    """Base class for every node in the document tree."""
+
+    node_type: NodeType = NodeType.ELEMENT
+
+    def __init__(self) -> None:
+        self.parent: Optional["Node"] = None
+        self.children: list["Node"] = []
+        self.owner_document = None  # set by Document.adopt / the parser
+
+    # -- structure ----------------------------------------------------------------
+
+    def append_child(self, child: "Node") -> "Node":
+        """Append ``child`` (detaching it from any previous parent) and return it."""
+        if child is self or self._is_ancestor(child):
+            raise ValueError("cannot append a node inside itself")
+        child.detach()
+        child.parent = self
+        child.owner_document = self.owner_document
+        self.children.append(child)
+        return child
+
+    def insert_before(self, new_child: "Node", reference: "Node | None") -> "Node":
+        """Insert ``new_child`` immediately before ``reference`` (or append)."""
+        if reference is None:
+            return self.append_child(new_child)
+        if reference.parent is not self:
+            raise ValueError("reference node is not a child of this node")
+        new_child.detach()
+        new_child.parent = self
+        new_child.owner_document = self.owner_document
+        index = self.children.index(reference)
+        self.children.insert(index, new_child)
+        return new_child
+
+    def remove_child(self, child: "Node") -> "Node":
+        """Remove ``child`` and return it."""
+        if child.parent is not self:
+            raise ValueError("node to remove is not a child of this node")
+        self.children.remove(child)
+        child.parent = None
+        return child
+
+    def detach(self) -> None:
+        """Remove this node from its parent, if attached."""
+        if self.parent is not None:
+            self.parent.remove_child(self)
+
+    def replace_children(self, new_children: list["Node"]) -> None:
+        """Drop every existing child and adopt ``new_children`` in order."""
+        for child in list(self.children):
+            self.remove_child(child)
+        for child in new_children:
+            self.append_child(child)
+
+    def _is_ancestor(self, candidate: "Node") -> bool:
+        node = self.parent
+        while node is not None:
+            if node is candidate:
+                return True
+            node = node.parent
+        return False
+
+    # -- traversal -------------------------------------------------------------------
+
+    def descendants(self) -> Iterator["Node"]:
+        """Yield every descendant in document order (depth first)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def first_child(self) -> Optional["Node"]:
+        """First child or ``None``."""
+        return self.children[0] if self.children else None
+
+    @property
+    def last_child(self) -> Optional["Node"]:
+        """Last child or ``None``."""
+        return self.children[-1] if self.children else None
+
+    @property
+    def next_sibling(self) -> Optional["Node"]:
+        """The following sibling, if any."""
+        if self.parent is None:
+            return None
+        siblings = self.parent.children
+        index = siblings.index(self)
+        return siblings[index + 1] if index + 1 < len(siblings) else None
+
+    @property
+    def previous_sibling(self) -> Optional["Node"]:
+        """The preceding sibling, if any."""
+        if self.parent is None:
+            return None
+        siblings = self.parent.children
+        index = siblings.index(self)
+        return siblings[index - 1] if index > 0 else None
+
+    # -- content --------------------------------------------------------------------
+
+    @property
+    def text_content(self) -> str:
+        """Concatenated text of every descendant text node."""
+        parts: list[str] = []
+        for node in self.descendants():
+            if node.node_type is NodeType.TEXT:
+                parts.append(node.data)  # type: ignore[attr-defined]
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} children={len(self.children)}>"
+
+
+class TextNode(Node):
+    """A run of character data."""
+
+    node_type = NodeType.TEXT
+
+    def __init__(self, data: str = "") -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def text_content(self) -> str:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.data if len(self.data) <= 30 else self.data[:27] + "..."
+        return f"<TextNode {preview!r}>"
+
+
+class CommentNode(Node):
+    """An HTML comment (``<!-- ... -->``)."""
+
+    node_type = NodeType.COMMENT
+
+    def __init__(self, data: str = "") -> None:
+        super().__init__()
+        self.data = data
+
+    @property
+    def text_content(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CommentNode {self.data[:30]!r}>"

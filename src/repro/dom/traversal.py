@@ -1,0 +1,160 @@
+"""Tree traversal helpers and a small selector engine.
+
+The selector syntax supports what the case-study applications and the attack
+corpus need: tag names, ``#id``, ``.class``, attribute presence/equality
+(``[name]``, ``[name=value]``), the universal selector ``*``, and descendant
+combination with whitespace (``div.post span``).  It is intentionally a tiny
+subset of CSS -- enough to write readable examples and tests, not a layout
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from .element import Element
+from .node import Node
+
+Predicate = Callable[[Element], bool]
+
+
+def walk_elements(root: Node) -> Iterator[Element]:
+    """Yield every element under ``root`` (excluding ``root`` itself)."""
+    for node in root.descendants():
+        if isinstance(node, Element):
+            yield node
+
+
+def find_all(root: Node, predicate: Predicate) -> list[Element]:
+    """Every element under ``root`` matching ``predicate``."""
+    return [el for el in walk_elements(root) if predicate(el)]
+
+
+def find_first(root: Node, predicate: Predicate) -> Element | None:
+    """First element under ``root`` matching ``predicate``, or ``None``."""
+    for el in walk_elements(root):
+        if predicate(el):
+            return el
+    return None
+
+
+@dataclass(frozen=True)
+class SimpleSelector:
+    """One compound selector step (``div.post[data-x=1]#main``)."""
+
+    tag: str | None = None
+    element_id: str | None = None
+    classes: tuple[str, ...] = ()
+    attributes: tuple[tuple[str, str | None], ...] = ()
+
+    def matches(self, element: Element) -> bool:
+        """Whether ``element`` satisfies every component of this step."""
+        if self.tag is not None and self.tag != "*" and element.tag_name != self.tag:
+            return False
+        if self.element_id is not None and element.id != self.element_id:
+            return False
+        for cls in self.classes:
+            if cls not in element.class_list:
+                return False
+        for name, value in self.attributes:
+            if not element.has_attribute(name):
+                return False
+            if value is not None and element.get_attribute(name) != value:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A descendant-combinator chain of :class:`SimpleSelector` steps."""
+
+    steps: tuple[SimpleSelector, ...] = field(default_factory=tuple)
+
+    def matches(self, element: Element) -> bool:
+        """Whether ``element`` matches the full chain (rightmost step on it)."""
+        if not self.steps:
+            return False
+        if not self.steps[-1].matches(element):
+            return False
+        remaining = list(self.steps[:-1])
+        node = element.parent
+        while remaining and node is not None:
+            if isinstance(node, Element) and remaining[-1].matches(node):
+                remaining.pop()
+            node = node.parent
+        return not remaining
+
+
+def parse_selector(text: str) -> Selector:
+    """Parse the supported selector subset into a :class:`Selector`."""
+    steps = tuple(_parse_simple(part) for part in text.split() if part.strip())
+    return Selector(steps=steps)
+
+
+def _parse_simple(text: str) -> SimpleSelector:
+    tag: str | None = None
+    element_id: str | None = None
+    classes: list[str] = []
+    attributes: list[tuple[str, str | None]] = []
+
+    remainder = text
+    # Attribute blocks first ([name], [name=value]); they may contain '.' or '#'.
+    while "[" in remainder:
+        before, _, rest = remainder.partition("[")
+        inside, _, after = rest.partition("]")
+        name, eq, value = inside.partition("=")
+        attributes.append((name.strip().lower(), value.strip().strip("'\"") if eq else None))
+        remainder = before + after
+
+    token = ""
+    mode = "tag"
+    for ch in remainder + "\0":
+        if ch in ("#", ".", "\0"):
+            if token:
+                if mode == "tag":
+                    tag = token.lower()
+                elif mode == "id":
+                    element_id = token
+                else:
+                    classes.append(token)
+            token = ""
+            mode = "id" if ch == "#" else "class" if ch == "." else mode
+        else:
+            token += ch
+    return SimpleSelector(
+        tag=tag,
+        element_id=element_id,
+        classes=tuple(classes),
+        attributes=tuple(attributes),
+    )
+
+
+def query_selector_all(root: Node, selector_text: str) -> list[Element]:
+    """Every element under ``root`` matching the selector."""
+    selector = parse_selector(selector_text)
+    return [el for el in walk_elements(root) if selector.matches(el)]
+
+
+def query_selector(root: Node, selector_text: str) -> Element | None:
+    """First element under ``root`` matching the selector, or ``None``."""
+    selector = parse_selector(selector_text)
+    for el in walk_elements(root):
+        if selector.matches(el):
+            return el
+    return None
+
+
+def elements_in_rings(root: Node, rings: Iterable[int]) -> list[Element]:
+    """Elements whose assigned security context lies in one of ``rings``.
+
+    Convenience used by tests and benchmark reporting to summarise how a
+    labelled page is partitioned.
+    """
+    wanted = set(rings)
+    matches = []
+    for el in walk_elements(root):
+        context = el.security_context
+        if context is not None and context.ring.level in wanted:
+            matches.append(el)
+    return matches

@@ -1,0 +1,35 @@
+"""HTML substrate: tokenizer, tree builder, entities and serialisation."""
+
+from .entities import decode_entities, escape_attribute, escape_text
+from .parser import TreeBuilder, parse_document, parse_document_with_stats, parse_fragment
+from .serializer import serialize, serialize_children
+from .tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    RawTextToken,
+    StartTagToken,
+    TextToken,
+    Token,
+    tokenize,
+)
+
+__all__ = [
+    "CommentToken",
+    "DoctypeToken",
+    "EndTagToken",
+    "RawTextToken",
+    "StartTagToken",
+    "TextToken",
+    "Token",
+    "TreeBuilder",
+    "decode_entities",
+    "escape_attribute",
+    "escape_text",
+    "parse_document",
+    "parse_document_with_stats",
+    "parse_fragment",
+    "serialize",
+    "serialize_children",
+    "tokenize",
+]

@@ -1,0 +1,100 @@
+"""HTML character references (entities).
+
+Only the entities that actually occur in the reproduction's pages and in the
+attack corpus are included -- the goal is correct round-tripping of the
+markup the case studies emit, not full spec coverage.  Numeric character
+references (``&#65;`` and ``&#x41;``) are supported generically.
+"""
+
+from __future__ import annotations
+
+#: Named entities the tokenizer decodes and the serializer encodes.
+NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "hellip": "…",
+    "mdash": "—",
+    "ndash": "–",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ldquo": "“",
+    "rdquo": "”",
+}
+
+#: Characters that must be escaped in text content.
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+
+#: Characters that must be escaped inside double-quoted attribute values.
+_ATTR_ESCAPES = {"&": "&amp;", '"': "&quot;", "<": "&lt;", ">": "&gt;"}
+
+
+def decode_entities(text: str) -> str:
+    """Replace character references in ``text`` with the characters they name.
+
+    Unknown or malformed references are left verbatim (lenient, like
+    browsers).
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        semi = text.find(";", i + 1)
+        if semi == -1 or semi - i > 32:
+            out.append(ch)
+            i += 1
+            continue
+        name = text[i + 1 : semi]
+        decoded = _decode_one(name)
+        if decoded is None:
+            out.append(ch)
+            i += 1
+        else:
+            out.append(decoded)
+            i = semi + 1
+    return "".join(out)
+
+
+def _decode_one(name: str) -> str | None:
+    if not name:
+        return None
+    if name.startswith("#"):
+        body = name[1:]
+        try:
+            code = int(body[1:], 16) if body[:1] in ("x", "X") else int(body, 10)
+        except ValueError:
+            return None
+        if 0 < code <= 0x10FFFF:
+            try:
+                return chr(code)
+            except ValueError:
+                return None
+        return None
+    return NAMED_ENTITIES.get(name)
+
+
+def escape_text(text: str) -> str:
+    """Escape text content for safe inclusion in HTML markup.
+
+    This is also the server-side sanitisation primitive used by the webapp
+    framework when it *does* apply input filtering (the paper's "first line
+    of defense"); the defence-effectiveness experiments switch it off to
+    demonstrate ESCUDO catching what filtering misses.
+    """
+    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in text)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for inclusion in double quotes."""
+    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)

@@ -1,0 +1,87 @@
+"""DOM → HTML serialisation.
+
+Round-trips the reproduction's DOM trees back to markup.  Used by the
+mediated ``innerHTML`` getter, by the template engine's output stage, and by
+tests that assert on rendered pages.
+"""
+
+from __future__ import annotations
+
+from repro.dom.document import Document
+from repro.dom.element import Element, RAW_TEXT_ELEMENTS, VOID_ELEMENTS
+from repro.dom.node import CommentNode, Node, TextNode
+
+from .entities import escape_attribute, escape_text
+
+
+def serialize(node: Node, *, indent: bool = False) -> str:
+    """Serialise a node (and its subtree) to HTML text.
+
+    ``indent`` pretty-prints with two-space indentation; the default compact
+    form is byte-stable for round-trip tests.
+    """
+    pieces: list[str] = []
+    if isinstance(node, Document):
+        if node.doctype:
+            pieces.append(f"<!{node.doctype}>")
+            if indent:
+                pieces.append("\n")
+        for child in node.children:
+            _serialize_node(child, pieces, 0, indent)
+    else:
+        _serialize_node(node, pieces, 0, indent)
+    return "".join(pieces)
+
+
+def serialize_children(node: Node, *, indent: bool = False) -> str:
+    """Serialise only the children of ``node`` (the ``innerHTML`` view)."""
+    pieces: list[str] = []
+    for child in node.children:
+        _serialize_node(child, pieces, 0, indent)
+    return "".join(pieces)
+
+
+def _serialize_node(node: Node, pieces: list[str], depth: int, indent: bool) -> None:
+    pad = "  " * depth if indent else ""
+    newline = "\n" if indent else ""
+    if isinstance(node, TextNode):
+        parent = node.parent
+        if isinstance(parent, Element) and parent.tag_name in RAW_TEXT_ELEMENTS:
+            text = node.data
+        else:
+            text = escape_text(node.data)
+        if indent:
+            stripped = text.strip()
+            if not stripped:
+                return
+            pieces.append(f"{pad}{stripped}{newline}")
+        else:
+            pieces.append(text)
+        return
+    if isinstance(node, CommentNode):
+        pieces.append(f"{pad}<!--{node.data}-->{newline}")
+        return
+    if isinstance(node, Element):
+        attrs = _serialize_attributes(node)
+        open_tag = f"<{node.tag_name}{attrs}>"
+        if node.tag_name in VOID_ELEMENTS and not node.children:
+            pieces.append(f"{pad}{open_tag}{newline}")
+            return
+        pieces.append(f"{pad}{open_tag}{newline}")
+        for child in node.children:
+            _serialize_node(child, pieces, depth + 1, indent)
+        pieces.append(f"{pad}</{node.tag_name}>{newline}")
+        return
+    # Unknown node types (e.g. a Document nested oddly) serialise their children.
+    for child in node.children:
+        _serialize_node(child, pieces, depth, indent)
+
+
+def _serialize_attributes(element: Element) -> str:
+    parts = []
+    for name, value in element.attributes.items():
+        if value == "":
+            parts.append(f" {name}")
+        else:
+            parts.append(f' {name}="{escape_attribute(value)}"')
+    return "".join(parts)

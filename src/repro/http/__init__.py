@@ -1,0 +1,23 @@
+"""Synthetic HTTP substrate: URLs, headers, cookies, messages and routing."""
+
+from .cookies import Cookie, CookieJar, format_cookie_header, parse_set_cookie
+from .headers import Headers
+from .messages import HttpRequest, HttpResponse
+from .network import HttpServer, Network, RequestRecord, build_network
+from .url import Url, encode_query
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "Network",
+    "RequestRecord",
+    "Url",
+    "build_network",
+    "encode_query",
+    "format_cookie_header",
+    "parse_set_cookie",
+]

@@ -1,0 +1,190 @@
+"""Cookies and the browser cookie jar.
+
+Cookies are first-class ESCUDO objects: the application assigns them a ring
+(and optionally an ACL) via the optional ``X-Escudo-Cookie-Policy`` response
+header; the browser attaches a cookie to an outgoing HTTP request only when
+the principal that initiated the request passes the ``use`` check for that
+cookie, and scripts may read/write ``document.cookie`` only subject to the
+``read``/``write`` checks.  This is the mechanism that neutralises CSRF in
+the paper's evaluation.
+
+The jar itself is pure storage -- mediation happens in the browser substrate
+through the reference monitor -- but every stored cookie carries its
+security context so the monitor can be consulted directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.core.acl import Acl
+from repro.core.config import PageConfiguration, ResourcePolicy
+from repro.core.context import SecurityContext
+from repro.core.origin import Origin
+from repro.core.rings import Ring
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """A single cookie together with its ESCUDO labelling."""
+
+    name: str
+    value: str
+    origin: Origin
+    path: str = "/"
+    secure: bool = False
+    http_only: bool = False
+    ring: Ring = field(default_factory=lambda: Ring(0))
+    acl: Acl = field(default_factory=lambda: Acl.uniform(0))
+
+    @property
+    def security_context(self) -> SecurityContext:
+        """Context the reference monitor evaluates for this cookie."""
+        return SecurityContext(
+            origin=self.origin,
+            ring=self.ring,
+            acl=self.acl,
+            label=f"cookie:{self.name}",
+        )
+
+    @property
+    def label(self) -> str:
+        """Display label used in access decisions."""
+        return f"cookie:{self.name}"
+
+    def with_policy(self, policy: ResourcePolicy) -> "Cookie":
+        """Copy of this cookie relabelled with ``policy`` (ring + ACL)."""
+        return replace(self, ring=policy.ring, acl=policy.acl)
+
+    def with_value(self, value: str) -> "Cookie":
+        """Copy of this cookie with a new value (labels unchanged)."""
+        return replace(self, value=value)
+
+    def header_pair(self) -> str:
+        """``name=value`` form used in the ``Cookie`` request header."""
+        return f"{self.name}={self.value}"
+
+    def matches_path(self, request_path: str) -> bool:
+        """Standard cookie path matching."""
+        if self.path == "/" or request_path == self.path:
+            return True
+        prefix = self.path if self.path.endswith("/") else self.path + "/"
+        return request_path.startswith(prefix)
+
+
+def parse_set_cookie(value: str, origin: Origin) -> Cookie:
+    """Parse one ``Set-Cookie`` header value into an (unlabelled) cookie.
+
+    The ESCUDO labelling comes separately from the page configuration
+    (``X-Escudo-Cookie-Policy``); by default cookies land in ring 0 per the
+    paper's fail-safe default.
+    """
+    parts = [part.strip() for part in value.split(";")]
+    name, _, cookie_value = parts[0].partition("=")
+    path = "/"
+    secure = False
+    http_only = False
+    for attr in parts[1:]:
+        key, _, raw = attr.partition("=")
+        key = key.strip().lower()
+        if key == "path" and raw.strip():
+            path = raw.strip()
+        elif key == "secure":
+            secure = True
+        elif key == "httponly":
+            http_only = True
+    return Cookie(
+        name=name.strip(),
+        value=cookie_value.strip(),
+        origin=origin,
+        path=path,
+        secure=secure,
+        http_only=http_only,
+    )
+
+
+def format_cookie_header(cookies: Iterable[Cookie]) -> str:
+    """Render cookies into a ``Cookie`` request header value."""
+    return "; ".join(cookie.header_pair() for cookie in cookies)
+
+
+class CookieJar:
+    """Per-browser cookie storage, keyed by origin and cookie name."""
+
+    def __init__(self) -> None:
+        self._cookies: dict[tuple[Origin, str], Cookie] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def set(self, cookie: Cookie) -> None:
+        """Store (or overwrite) a cookie."""
+        self._cookies[(cookie.origin, cookie.name)] = cookie
+
+    def store_from_response(
+        self,
+        origin: Origin,
+        set_cookie_values: Iterable[str],
+        configuration: PageConfiguration | None = None,
+    ) -> list[Cookie]:
+        """Store every cookie from a response's ``Set-Cookie`` headers.
+
+        When the response carried an ESCUDO cookie policy, each cookie is
+        labelled with its configured ring/ACL; otherwise it keeps the ring-0
+        default.  Returns the stored cookies (post-labelling).
+        """
+        stored: list[Cookie] = []
+        for raw in set_cookie_values:
+            cookie = parse_set_cookie(raw, origin)
+            if configuration is not None and configuration.escudo_enabled:
+                cookie = cookie.with_policy(configuration.cookie_policy(cookie.name))
+            self.set(cookie)
+            stored.append(cookie)
+        return stored
+
+    def delete(self, origin: Origin, name: str) -> None:
+        """Remove a cookie if present."""
+        self._cookies.pop((origin, name), None)
+
+    def clear(self) -> None:
+        """Remove every cookie (fresh browser profile)."""
+        self._cookies.clear()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def get(self, origin: Origin, name: str) -> Cookie | None:
+        """Look up one cookie by origin and name."""
+        return self._cookies.get((origin, name))
+
+    def cookies_for(self, origin: Origin, path: str = "/", *, secure_channel: bool | None = None) -> list[Cookie]:
+        """Cookies eligible for a request to ``origin`` at ``path``.
+
+        ``secure_channel`` filters out ``Secure`` cookies on plain-HTTP
+        requests when provided; when ``None`` the scheme of the origin is
+        used.
+        """
+        https = secure_channel if secure_channel is not None else origin.scheme == "https"
+        eligible = []
+        for (cookie_origin, _), cookie in self._cookies.items():
+            if cookie_origin != origin:
+                continue
+            if cookie.secure and not https:
+                continue
+            if not cookie.matches_path(path):
+                continue
+            eligible.append(cookie)
+        eligible.sort(key=lambda c: c.name)
+        return eligible
+
+    def all_cookies(self) -> list[Cookie]:
+        """Every stored cookie."""
+        return list(self._cookies.values())
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def __iter__(self) -> Iterator[Cookie]:
+        return iter(self._cookies.values())
+
+    def __contains__(self, key: tuple[Origin, str]) -> bool:
+        return key in self._cookies

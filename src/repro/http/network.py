@@ -1,0 +1,152 @@
+"""In-process network fabric.
+
+The reproduction has no sockets: browsers and server applications live in the
+same process and exchange :class:`~repro.http.messages.HttpRequest` /
+``HttpResponse`` objects through a :class:`Network`.  Servers register
+themselves for an origin; the browser's loader and XHR implementation call
+:meth:`Network.dispatch`.
+
+Every dispatched request is recorded in a request log.  The CSRF experiments
+use the log to check *which cookies actually reached the server* -- the
+ground truth for whether an attack succeeded -- and the benchmarks use it to
+count traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.core.origin import Origin
+
+from .messages import HttpRequest, HttpResponse
+from .url import Url
+
+
+@runtime_checkable
+class HttpServer(Protocol):
+    """Anything that can answer HTTP requests (the webapp framework does)."""
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RequestRecord:
+    """One entry in the network's request log."""
+
+    request: HttpRequest
+    response: HttpResponse
+    sequence: int
+
+    @property
+    def url(self) -> Url:
+        """URL the request targeted."""
+        return self.request.url
+
+    @property
+    def cookies_sent(self) -> dict[str, str]:
+        """Cookies that were attached to the request when it hit the wire."""
+        return self.request.cookies
+
+    @property
+    def initiator(self) -> str:
+        """Description of the principal that issued the request."""
+        return self.request.initiator
+
+
+class Network:
+    """Routes requests from browsers to registered server applications."""
+
+    def __init__(self) -> None:
+        self._servers: dict[Origin, HttpServer] = {}
+        self._log: list[RequestRecord] = []
+        self._sequence = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def register(self, origin: Origin | str, server: HttpServer) -> None:
+        """Attach ``server`` to ``origin`` (string origins are parsed)."""
+        resolved = origin if isinstance(origin, Origin) else Origin.parse(origin)
+        self._servers[resolved] = server
+
+    def unregister(self, origin: Origin | str) -> None:
+        """Detach whatever server is bound to ``origin``."""
+        resolved = origin if isinstance(origin, Origin) else Origin.parse(origin)
+        self._servers.pop(resolved, None)
+
+    def server_for(self, origin: Origin) -> HttpServer | None:
+        """The server registered for ``origin``, if any."""
+        return self._servers.get(origin)
+
+    @property
+    def origins(self) -> list[Origin]:
+        """Every origin with a registered server."""
+        return list(self._servers)
+
+    # -- request dispatch ----------------------------------------------------------
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Deliver ``request`` to the responsible server and log the exchange.
+
+        Unknown origins produce a 502 so misconfigured tests fail loudly
+        rather than hanging.
+        """
+        server = self._servers.get(request.origin)
+        if server is None:
+            response = HttpResponse(
+                status=502,
+                body=f"<html><body>no server registered for {request.origin}</body></html>",
+            )
+        else:
+            response = server.handle_request(request)
+        self._sequence += 1
+        self._log.append(RequestRecord(request=request, response=response, sequence=self._sequence))
+        return response
+
+    # -- the request log --------------------------------------------------------------
+
+    @property
+    def request_log(self) -> list[RequestRecord]:
+        """Every request dispatched so far, oldest first."""
+        return list(self._log)
+
+    def requests_to(self, origin: Origin | str) -> list[RequestRecord]:
+        """Log entries addressed to ``origin``."""
+        resolved = origin if isinstance(origin, Origin) else Origin.parse(origin)
+        return [record for record in self._log if record.request.origin == resolved]
+
+    def requests_matching(self, *, path_prefix: str = "", method: str | None = None,
+                          initiator_contains: str = "") -> list[RequestRecord]:
+        """Filter the log by path prefix, method and/or initiator substring."""
+        matches = []
+        for record in self._log:
+            if path_prefix and not record.request.url.path.startswith(path_prefix):
+                continue
+            if method and record.request.method != method.upper():
+                continue
+            if initiator_contains and initiator_contains not in record.initiator:
+                continue
+            matches.append(record)
+        return matches
+
+    def clear_log(self) -> None:
+        """Reset the request log (between experiment repetitions)."""
+        self._log.clear()
+        self._sequence = 0
+
+    def traffic_summary(self) -> dict[str, int]:
+        """Counts per origin, used by the benchmark reports."""
+        summary: dict[str, int] = {}
+        for record in self._log:
+            key = str(record.request.origin)
+            summary[key] = summary.get(key, 0) + 1
+        return summary
+
+
+def build_network(servers: Iterable[tuple[str, HttpServer]]) -> Network:
+    """Convenience constructor: build a network from (origin, server) pairs."""
+    network = Network()
+    for origin, server in servers:
+        network.register(origin, server)
+    return network

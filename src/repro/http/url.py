@@ -1,0 +1,210 @@
+"""URL parsing and resolution for the synthetic HTTP substrate.
+
+A deliberately small, dependency-free URL implementation sufficient for the
+reproduction: absolute ``http``/``https`` URLs with host, optional port,
+path, query string and fragment, plus relative-reference resolution (needed
+when pages link to ``"post.php?id=3"`` style URLs).
+
+The :class:`Url` type exposes its :class:`~repro.core.origin.Origin`, which
+is what both the same-origin policy baseline and ESCUDO's origin rule
+compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.core.origin import DEFAULT_PORTS, Origin
+
+
+def _parse_query(query: str) -> dict[str, str]:
+    """Parse ``a=1&b=two`` into a dict (last duplicate wins, '+' is a space)."""
+    params: dict[str, str] = {}
+    if not query:
+        return params
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        params[_unquote(key)] = _unquote(value)
+    return params
+
+
+def _quote(text: str) -> str:
+    """Minimal percent-encoding for query components."""
+    safe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.~"
+    out = []
+    for ch in text:
+        if ch in safe:
+            out.append(ch)
+        elif ch == " ":
+            out.append("+")
+        else:
+            out.append("".join(f"%{b:02X}" for b in ch.encode("utf-8")))
+    return "".join(out)
+
+
+def _unquote(text: str) -> str:
+    """Inverse of :func:`_quote`."""
+    text = text.replace("+", " ")
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "%" and i + 2 < len(text) + 1 and i + 3 <= len(text):
+            try:
+                out.append(int(text[i + 1 : i + 3], 16))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.extend(ch.encode("utf-8"))
+        i += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def encode_query(params: dict[str, str]) -> str:
+    """Encode a parameter dict into a query string."""
+    return "&".join(f"{_quote(str(k))}={_quote(str(v))}" for k, v in params.items())
+
+
+@dataclass(frozen=True)
+class Url:
+    """An absolute URL decomposed into its components."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scheme or not self.host:
+            raise ConfigurationError("URL requires a scheme and a host")
+        object.__setattr__(self, "scheme", self.scheme.lower())
+        object.__setattr__(self, "host", self.host.lower())
+        if not self.path.startswith("/"):
+            object.__setattr__(self, "path", "/" + self.path)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute URL string."""
+        if not isinstance(text, str) or "://" not in text:
+            raise ConfigurationError(f"not an absolute URL: {text!r}")
+        scheme, _, rest = text.strip().partition("://")
+        scheme = scheme.lower()
+        fragment = ""
+        if "#" in rest:
+            rest, fragment = rest.split("#", 1)
+        query = ""
+        if "?" in rest:
+            rest, query = rest.split("?", 1)
+        authority, slash, path = rest.partition("/")
+        path = slash + path if slash else "/"
+        if "@" in authority:
+            authority = authority.rsplit("@", 1)[1]
+        host, _, port_text = authority.partition(":")
+        if not host:
+            raise ConfigurationError(f"URL {text!r} has no host")
+        if port_text:
+            try:
+                port = int(port_text, 10)
+            except ValueError as exc:
+                raise ConfigurationError(f"URL {text!r} has a malformed port") from exc
+        else:
+            port = DEFAULT_PORTS.get(scheme, 80)
+        return cls(scheme=scheme, host=host, port=port, path=path or "/", query=query, fragment=fragment)
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def origin(self) -> Origin:
+        """The URL's web origin (scheme, host, port)."""
+        return Origin(scheme=self.scheme, host=self.host, port=self.port)
+
+    @property
+    def params(self) -> dict[str, str]:
+        """Query parameters as a dict."""
+        return _parse_query(self.query)
+
+    @property
+    def path_and_query(self) -> str:
+        """Path plus query string (the request target sent to the server)."""
+        if self.query:
+            return f"{self.path}?{self.query}"
+        return self.path
+
+    # -- derivation --------------------------------------------------------------
+
+    def with_params(self, params: dict[str, str]) -> "Url":
+        """Copy of this URL with the query string replaced by ``params``."""
+        return Url(
+            scheme=self.scheme,
+            host=self.host,
+            port=self.port,
+            path=self.path,
+            query=encode_query(params),
+            fragment=self.fragment,
+        )
+
+    def resolve(self, reference: str) -> "Url":
+        """Resolve a (possibly relative) reference against this URL.
+
+        Handles absolute URLs, scheme-relative (``//host/...``), absolute
+        paths (``/x/y``), relative paths (``y``, ``../y``), bare query
+        strings (``?a=1``) and bare fragments (``#top``).
+        """
+        ref = reference.strip()
+        if not ref:
+            return self
+        if "://" in ref:
+            return Url.parse(ref)
+        if ref.startswith("//"):
+            return Url.parse(f"{self.scheme}:{ref}")
+        if ref.startswith("#"):
+            return Url(self.scheme, self.host, self.port, self.path, self.query, ref[1:])
+        if ref.startswith("?"):
+            return Url(self.scheme, self.host, self.port, self.path, ref[1:], "")
+        fragment = ""
+        if "#" in ref:
+            ref, fragment = ref.split("#", 1)
+        query = ""
+        if "?" in ref:
+            ref, query = ref.split("?", 1)
+        if ref.startswith("/"):
+            path = _normalize_path(ref)
+        else:
+            base_dir = self.path.rsplit("/", 1)[0]
+            path = _normalize_path(f"{base_dir}/{ref}")
+        return Url(self.scheme, self.host, self.port, path, query, fragment)
+
+    def __str__(self) -> str:
+        default = DEFAULT_PORTS.get(self.scheme)
+        host = self.host if default == self.port else f"{self.host}:{self.port}"
+        text = f"{self.scheme}://{host}{self.path}"
+        if self.query:
+            text += f"?{self.query}"
+        if self.fragment:
+            text += f"#{self.fragment}"
+        return text
+
+
+def _normalize_path(path: str) -> str:
+    """Collapse ``.`` and ``..`` segments in an absolute path."""
+    segments: list[str] = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized

@@ -1,0 +1,33 @@
+"""MiniScript: the reproduction's JavaScript-like scripting substrate."""
+
+from .errors import BudgetExceeded, LexError, ParseError, RuntimeScriptError, ScriptError
+from .interpreter import (
+    Environment,
+    ExecutionResult,
+    HostObject,
+    Interpreter,
+    NativeConstructor,
+    NativeFunction,
+    ScriptFunction,
+)
+from .lexer import ScriptToken, TokenType, tokenize_script
+from .parser import parse_script
+
+__all__ = [
+    "BudgetExceeded",
+    "Environment",
+    "ExecutionResult",
+    "HostObject",
+    "Interpreter",
+    "LexError",
+    "NativeConstructor",
+    "NativeFunction",
+    "ParseError",
+    "RuntimeScriptError",
+    "ScriptError",
+    "ScriptFunction",
+    "ScriptToken",
+    "TokenType",
+    "parse_script",
+    "tokenize_script",
+]

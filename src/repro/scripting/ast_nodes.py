@@ -1,0 +1,191 @@
+"""MiniScript abstract syntax tree.
+
+Plain dataclasses, one per construct.  The interpreter dispatches on node
+type; keeping the nodes dumb (no behaviour) makes them easy to construct in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions -----------------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(Node):
+    entries: list[tuple[str, Node]] = field(default_factory=list)
+
+
+@dataclass
+class MemberAccess(Node):
+    """``target.name`` or ``target[index]`` (``computed`` distinguishes them)."""
+
+    target: Node = None
+    name: Optional[str] = None
+    index: Optional[Node] = None
+    computed: bool = False
+
+
+@dataclass
+class Call(Node):
+    """``callee(arg, ...)`` -- callee may be an identifier or member access."""
+
+    callee: Node = None
+    arguments: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpression(Node):
+    """``new Constructor(arg, ...)``."""
+
+    constructor: str = ""
+    arguments: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Node):
+    operator: str = ""
+    operand: Node = None
+
+
+@dataclass
+class Binary(Node):
+    operator: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class Conditional(Node):
+    """``test ? consequent : alternate``."""
+
+    test: Node = None
+    consequent: Node = None
+    alternate: Node = None
+
+
+@dataclass
+class Assignment(Node):
+    """``target = value`` (also ``+=`` / ``-=`` / ``*=`` / ``/=``)."""
+
+    target: Node = None
+    value: Node = None
+    operator: str = "="
+
+
+@dataclass
+class FunctionExpression(Node):
+    """``function (params) { body }`` used as a value (callbacks)."""
+
+    parameters: list[str] = field(default_factory=list)
+    body: "Block" = None
+    name: Optional[str] = None
+
+
+# -- statements -------------------------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    statements: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class VarDeclaration(Node):
+    name: str = ""
+    initializer: Optional[Node] = None
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    name: str = ""
+    parameters: list[str] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class If(Node):
+    test: Node = None
+    consequent: Node = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class While(Node):
+    test: Node = None
+    body: Node = None
+
+
+@dataclass
+class For(Node):
+    """C-style ``for (init; test; update) body``."""
+
+    init: Optional[Node] = None
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Node = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node = None

@@ -1,0 +1,34 @@
+"""Errors raised by the MiniScript substrate."""
+
+from __future__ import annotations
+
+
+class ScriptError(Exception):
+    """Base class for every MiniScript error."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = f" (line {line}, column {column})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class LexError(ScriptError):
+    """The source text could not be tokenised."""
+
+
+class ParseError(ScriptError):
+    """The token stream could not be parsed into a program."""
+
+
+class RuntimeScriptError(ScriptError):
+    """The program failed while executing (bad member access, type error...)."""
+
+
+class BudgetExceeded(RuntimeScriptError):
+    """The program exceeded its execution step budget.
+
+    The browser gives every script a finite budget so that malicious or
+    buggy scripts (infinite loops) cannot hang experiments.
+    """

@@ -1,0 +1,716 @@
+"""MiniScript tree-walking interpreter.
+
+Executes programs produced by :mod:`repro.scripting.parser`.  The interpreter
+is deliberately small but complete enough for the reproduction's workloads:
+variables, functions (including closures used as event-handler callbacks),
+control flow, arrays, object literals, string/array built-in methods, host
+objects and ``new`` construction of host types such as ``XMLHttpRequest``.
+
+Host interoperability
+---------------------
+The browser exposes its mediated APIs to scripts as *host objects*
+(subclasses of :class:`HostObject`).  Property reads, writes and method
+calls on host objects are forwarded to ``js_get`` / ``js_set`` / ``js_call``,
+which is where the DOM facade, cookie access and ``XMLHttpRequest`` perform
+their reference-monitor checks.  The interpreter itself knows nothing about
+ESCUDO -- exactly like a real JavaScript engine.
+
+Execution budget
+----------------
+Every run is bounded by a step budget so that attack scripts with infinite
+loops cannot hang the experiments; exceeding it raises
+:class:`~repro.scripting.errors.BudgetExceeded` which the browser converts
+into a script error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from . import ast_nodes as ast
+from .errors import BudgetExceeded, RuntimeScriptError, ScriptError
+from .parser import parse_script
+
+
+class HostObject:
+    """Base class for objects the browser exposes into the script world."""
+
+    #: Name reported by ``typeof`` and error messages.
+    host_name = "HostObject"
+
+    def js_get(self, name: str):
+        """Read a property; subclasses override."""
+        raise RuntimeScriptError(f"{self.host_name} has no property {name!r}")
+
+    def js_set(self, name: str, value) -> None:
+        """Write a property; subclasses override."""
+        raise RuntimeScriptError(f"{self.host_name} property {name!r} is not writable")
+
+    def js_call(self, name: str, args: list):
+        """Invoke a method; the default resolves the property and calls it."""
+        member = self.js_get(name)
+        if callable(member):
+            return member(*args)
+        raise RuntimeScriptError(f"{self.host_name}.{name} is not a function")
+
+
+class NativeFunction:
+    """A Python callable exposed as a script function."""
+
+    def __init__(self, func: Callable, name: str = "native") -> None:
+        self._func = func
+        self.name = name
+
+    def __call__(self, *args):
+        return self._func(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NativeFunction {self.name}>"
+
+
+class NativeConstructor:
+    """A host type constructible with ``new`` (e.g. ``XMLHttpRequest``)."""
+
+    def __init__(self, factory: Callable[..., HostObject], name: str) -> None:
+        self._factory = factory
+        self.name = name
+
+    def construct(self, args: list) -> HostObject:
+        """Instantiate the host object."""
+        return self._factory(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NativeConstructor {self.name}>"
+
+
+@dataclass
+class ScriptFunction:
+    """A user-defined MiniScript function (a closure)."""
+
+    declaration: ast.FunctionExpression | ast.FunctionDeclaration
+    closure: "Environment"
+
+    @property
+    def parameters(self) -> list[str]:
+        return self.declaration.parameters
+
+    @property
+    def name(self) -> str:
+        return getattr(self.declaration, "name", None) or "<anonymous>"
+
+
+class Environment:
+    """Lexically scoped variable bindings."""
+
+    def __init__(self, parent: Optional["Environment"] = None) -> None:
+        self.parent = parent
+        self.values: dict[str, Any] = {}
+
+    def define(self, name: str, value) -> None:
+        """Create (or overwrite) a binding in this scope."""
+        self.values[name] = value
+
+    def lookup(self, name: str):
+        """Resolve a name, walking outward; raises for unknown names."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                return env.values[name]
+            env = env.parent
+        raise RuntimeScriptError(f"{name!r} is not defined")
+
+    def assign(self, name: str, value) -> None:
+        """Assign to an existing binding, or create a global if none exists."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                env.values[name] = value
+                return
+            env = env.parent
+        # Undeclared assignment creates a global, like sloppy-mode JavaScript.
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        root.values[name] = value
+
+    def has(self, name: str) -> bool:
+        """Whether the name resolves in this or any outer scope."""
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.values:
+                return True
+            env = env.parent
+        return False
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one script."""
+
+    value: Any = None
+    error: ScriptError | None = None
+    steps: int = 0
+    completed: bool = True
+
+    @property
+    def failed(self) -> bool:
+        """True when the script raised an error (including budget exhaustion)."""
+        return self.error is not None
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class Interpreter:
+    """Executes MiniScript programs against a set of global host bindings."""
+
+    def __init__(self, globals_map: dict[str, Any] | None = None, *, max_steps: int = 500_000) -> None:
+        self.globals = Environment()
+        self.max_steps = max_steps
+        self._steps = 0
+        for name, value in _standard_library().items():
+            self.globals.define(name, value)
+        if globals_map:
+            for name, value in globals_map.items():
+                self.globals.define(name, value)
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, source_or_program: str | ast.Program) -> ExecutionResult:
+        """Execute a program (parsing it first when given source text)."""
+        self._steps = 0
+        try:
+            program = (
+                source_or_program
+                if isinstance(source_or_program, ast.Program)
+                else parse_script(source_or_program)
+            )
+        except ScriptError as error:
+            return ExecutionResult(error=error, completed=False)
+        value = None
+        try:
+            for statement in program.body:
+                value = self._execute(statement, self.globals)
+        except ScriptError as error:
+            return ExecutionResult(error=error, steps=self._steps, completed=False)
+        except (_ReturnSignal, _BreakSignal, _ContinueSignal):
+            return ExecutionResult(
+                error=RuntimeScriptError("illegal return/break/continue at top level"),
+                steps=self._steps,
+                completed=False,
+            )
+        return ExecutionResult(value=value, steps=self._steps)
+
+    def call_function(self, function, args: Iterable = ()) -> Any:
+        """Invoke a script or native function from host code (event dispatch)."""
+        return self._call_value(function, list(args))
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _tick(self, line: int = 0) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise BudgetExceeded("script exceeded its execution budget", line)
+
+    def _execute(self, node: ast.Node, env: Environment):
+        self._tick(getattr(node, "line", 0))
+        if isinstance(node, ast.ExpressionStatement):
+            return self._evaluate(node.expression, env)
+        if isinstance(node, ast.VarDeclaration):
+            value = self._evaluate(node.initializer, env) if node.initializer is not None else None
+            env.define(node.name, value)
+            return None
+        if isinstance(node, ast.FunctionDeclaration):
+            env.define(node.name, ScriptFunction(declaration=node, closure=env))
+            return None
+        if isinstance(node, ast.Return):
+            raise _ReturnSignal(self._evaluate(node.value, env) if node.value is not None else None)
+        if isinstance(node, ast.If):
+            if _truthy(self._evaluate(node.test, env)):
+                return self._execute(node.consequent, env)
+            if node.alternate is not None:
+                return self._execute(node.alternate, env)
+            return None
+        if isinstance(node, ast.While):
+            while _truthy(self._evaluate(node.test, env)):
+                self._tick(node.line)
+                try:
+                    self._execute(node.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return None
+        if isinstance(node, ast.For):
+            loop_env = Environment(env)
+            if node.init is not None:
+                self._execute(node.init, loop_env)
+            while node.test is None or _truthy(self._evaluate(node.test, loop_env)):
+                self._tick(node.line)
+                try:
+                    self._execute(node.body, loop_env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if node.update is not None:
+                    self._evaluate(node.update, loop_env)
+            return None
+        if isinstance(node, ast.Block):
+            block_env = Environment(env)
+            result = None
+            for statement in node.statements:
+                result = self._execute(statement, block_env)
+            return result
+        if isinstance(node, ast.Break):
+            raise _BreakSignal()
+        if isinstance(node, ast.Continue):
+            raise _ContinueSignal()
+        # Expressions used in statement position (e.g. inside for-init).
+        return self._evaluate(node, env)
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def _evaluate(self, node: ast.Node, env: Environment):
+        self._tick(getattr(node, "line", 0))
+        if isinstance(node, ast.NumberLiteral):
+            return node.value
+        if isinstance(node, ast.StringLiteral):
+            return node.value
+        if isinstance(node, ast.BooleanLiteral):
+            return node.value
+        if isinstance(node, ast.NullLiteral):
+            return None
+        if isinstance(node, ast.Identifier):
+            return env.lookup(node.name)
+        if isinstance(node, ast.ArrayLiteral):
+            return [self._evaluate(element, env) for element in node.elements]
+        if isinstance(node, ast.ObjectLiteral):
+            return {key: self._evaluate(value, env) for key, value in node.entries}
+        if isinstance(node, ast.FunctionExpression):
+            return ScriptFunction(declaration=node, closure=env)
+        if isinstance(node, ast.Unary):
+            return self._unary(node, env)
+        if isinstance(node, ast.Binary):
+            return self._binary(node, env)
+        if isinstance(node, ast.Conditional):
+            if _truthy(self._evaluate(node.test, env)):
+                return self._evaluate(node.consequent, env)
+            return self._evaluate(node.alternate, env)
+        if isinstance(node, ast.Assignment):
+            return self._assign(node, env)
+        if isinstance(node, ast.MemberAccess):
+            target = self._evaluate(node.target, env)
+            return self._get_member(target, self._member_name(node, env), node.line)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.NewExpression):
+            constructor = env.lookup(node.constructor)
+            args = [self._evaluate(argument, env) for argument in node.arguments]
+            if isinstance(constructor, NativeConstructor):
+                return constructor.construct(args)
+            if isinstance(constructor, ScriptFunction):
+                instance: dict[str, Any] = {}
+                self._invoke_script_function(constructor, args, this_value=instance)
+                return instance
+            raise RuntimeScriptError(f"{node.constructor} is not constructible", node.line)
+        raise RuntimeScriptError(f"cannot evaluate {type(node).__name__}", getattr(node, "line", 0))
+
+    def _member_name(self, node: ast.MemberAccess, env: Environment) -> str:
+        if node.computed:
+            return _to_property_key(self._evaluate(node.index, env))
+        return node.name or ""
+
+    def _unary(self, node: ast.Unary, env: Environment):
+        if node.operator == "typeof":
+            try:
+                value = self._evaluate(node.operand, env)
+            except RuntimeScriptError:
+                return "undefined"
+            return _typeof(value)
+        value = self._evaluate(node.operand, env)
+        if node.operator == "!":
+            return not _truthy(value)
+        if node.operator == "-":
+            return -_to_number(value)
+        if node.operator == "+":
+            return _to_number(value)
+        raise RuntimeScriptError(f"unknown unary operator {node.operator}", node.line)
+
+    def _binary(self, node: ast.Binary, env: Environment):
+        operator = node.operator
+        if operator == "&&":
+            left = self._evaluate(node.left, env)
+            return self._evaluate(node.right, env) if _truthy(left) else left
+        if operator == "||":
+            left = self._evaluate(node.left, env)
+            return left if _truthy(left) else self._evaluate(node.right, env)
+        left = self._evaluate(node.left, env)
+        right = self._evaluate(node.right, env)
+        if operator == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return _to_string(left) + _to_string(right)
+            return _to_number(left) + _to_number(right)
+        if operator == "-":
+            return _to_number(left) - _to_number(right)
+        if operator == "*":
+            return _to_number(left) * _to_number(right)
+        if operator == "/":
+            right_number = _to_number(right)
+            if right_number == 0:
+                return float("inf") if _to_number(left) > 0 else float("-inf") if _to_number(left) < 0 else float("nan")
+            return _to_number(left) / right_number
+        if operator == "%":
+            return _to_number(left) % _to_number(right)
+        if operator in ("==", "==="):
+            return _loose_equal(left, right)
+        if operator in ("!=", "!=="):
+            return not _loose_equal(left, right)
+        if operator == "<":
+            return _compare(left, right) < 0
+        if operator == ">":
+            return _compare(left, right) > 0
+        if operator == "<=":
+            return _compare(left, right) <= 0
+        if operator == ">=":
+            return _compare(left, right) >= 0
+        raise RuntimeScriptError(f"unknown operator {operator}", node.line)
+
+    def _assign(self, node: ast.Assignment, env: Environment):
+        value = self._evaluate(node.value, env)
+        if node.operator != "=":
+            current = self._evaluate(node.target, env)
+            base_operator = node.operator[0]
+            combined = ast.Binary(operator=base_operator, left=ast.NullLiteral(), right=ast.NullLiteral())
+            # Re-use the binary evaluation logic by computing directly:
+            if base_operator == "+":
+                value = (current + value) if not (isinstance(current, str) or isinstance(value, str)) \
+                    else _to_string(current) + _to_string(value)
+            elif base_operator == "-":
+                value = _to_number(current) - _to_number(value)
+            elif base_operator == "*":
+                value = _to_number(current) * _to_number(value)
+            elif base_operator == "/":
+                value = _to_number(current) / _to_number(value)
+            del combined
+        target = node.target
+        if isinstance(target, ast.Identifier):
+            env.assign(target.name, value)
+            return value
+        if isinstance(target, ast.MemberAccess):
+            obj = self._evaluate(target.target, env)
+            name = self._member_name(target, env)
+            self._set_member(obj, name, value, target.line)
+            return value
+        raise RuntimeScriptError("invalid assignment target", node.line)
+
+    # -- member protocol ---------------------------------------------------------------------
+
+    def _get_member(self, target, name: str, line: int):
+        if isinstance(target, HostObject):
+            return target.js_get(name)
+        if isinstance(target, dict):
+            return target.get(name)
+        if isinstance(target, list):
+            return _array_member(target, name, line)
+        if isinstance(target, str):
+            return _string_member(target, name, line)
+        if isinstance(target, (int, float)) and not isinstance(target, bool):
+            if name == "toString":
+                return NativeFunction(lambda: _to_string(target), "toString")
+        if target is None:
+            raise RuntimeScriptError(f"cannot read property {name!r} of null", line)
+        raise RuntimeScriptError(f"cannot read property {name!r} of {_typeof(target)}", line)
+
+    def _set_member(self, target, name: str, value, line: int) -> None:
+        if isinstance(target, HostObject):
+            target.js_set(name, value)
+            return
+        if isinstance(target, dict):
+            target[name] = value
+            return
+        if isinstance(target, list):
+            try:
+                index = int(float(name))
+            except ValueError:
+                raise RuntimeScriptError(f"invalid array index {name!r}", line) from None
+            while len(target) <= index:
+                target.append(None)
+            target[index] = value
+            return
+        if target is None:
+            raise RuntimeScriptError(f"cannot set property {name!r} of null", line)
+        raise RuntimeScriptError(f"cannot set property {name!r} on {_typeof(target)}", line)
+
+    # -- calls ------------------------------------------------------------------------------------
+
+    def _call(self, node: ast.Call, env: Environment):
+        args = [self._evaluate(argument, env) for argument in node.arguments]
+        callee = node.callee
+        if isinstance(callee, ast.MemberAccess):
+            target = self._evaluate(callee.target, env)
+            name = self._member_name(callee, env)
+            if isinstance(target, HostObject):
+                return target.js_call(name, args)
+            member = self._get_member(target, name, callee.line)
+            return self._call_value(member, args, this_value=target)
+        function = self._evaluate(callee, env)
+        return self._call_value(function, args)
+
+    def _call_value(self, function, args: list, this_value=None):
+        if isinstance(function, ScriptFunction):
+            return self._invoke_script_function(function, args, this_value=this_value)
+        if isinstance(function, NativeFunction):
+            return function(*args)
+        if callable(function):
+            return function(*args)
+        raise RuntimeScriptError(f"{_to_string(function)} is not a function")
+
+    def _invoke_script_function(self, function: ScriptFunction, args: list, this_value=None):
+        env = Environment(function.closure)
+        for index, parameter in enumerate(function.parameters):
+            env.define(parameter, args[index] if index < len(args) else None)
+        env.define("arguments", list(args))
+        if this_value is not None:
+            env.define("this", this_value)
+        try:
+            self._execute(function.declaration.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+
+# -- value semantics helpers -------------------------------------------------------------------
+
+
+def _truthy(value) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    return True
+
+
+def _to_number(value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value) if value.strip() else 0.0
+        except ValueError:
+            return float("nan")
+    if value is None:
+        return 0.0
+    return float("nan")
+
+
+def _to_string(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return ",".join(_to_string(item) for item in value)
+    if isinstance(value, dict):
+        return "[object Object]"
+    if isinstance(value, HostObject):
+        return f"[object {value.host_name}]"
+    if isinstance(value, (ScriptFunction, NativeFunction)):
+        return f"function {getattr(value, 'name', '')}"
+    return str(value)
+
+
+def _typeof(value) -> str:
+    if value is None:
+        return "object"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (ScriptFunction, NativeFunction, NativeConstructor)) or callable(value):
+        return "function"
+    return "object"
+
+
+def _loose_equal(left, right) -> bool:
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+            and not isinstance(left, bool) and not isinstance(right, bool):
+        return float(left) == float(right)
+    if isinstance(left, str) and isinstance(right, (int, float)) and not isinstance(right, bool):
+        return _to_number(left) == float(right)
+    if isinstance(right, str) and isinstance(left, (int, float)) and not isinstance(left, bool):
+        return _to_number(right) == float(left)
+    return left == right
+
+
+def _compare(left, right) -> int:
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    left_number, right_number = _to_number(left), _to_number(right)
+    return (left_number > right_number) - (left_number < right_number)
+
+
+def _to_property_key(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return _to_string(value)
+
+
+def _array_member(target: list, name: str, line: int):
+    if name == "length":
+        return float(len(target))
+    if name == "push":
+        return NativeFunction(lambda *items: (target.extend(items), float(len(target)))[1], "push")
+    if name == "pop":
+        return NativeFunction(lambda: target.pop() if target else None, "pop")
+    if name == "join":
+        return NativeFunction(lambda sep=",": _to_string(sep).join(_to_string(i) for i in target), "join")
+    if name == "indexOf":
+        return NativeFunction(
+            lambda item: float(target.index(item)) if item in target else -1.0, "indexOf"
+        )
+    if name == "slice":
+        return NativeFunction(
+            lambda start=0, end=None: target[int(start): int(end) if end is not None else None], "slice"
+        )
+    try:
+        index = int(name)
+    except ValueError:
+        raise RuntimeScriptError(f"array has no property {name!r}", line) from None
+    if 0 <= index < len(target):
+        return target[index]
+    return None
+
+
+def _string_member(target: str, name: str, line: int):
+    if name == "length":
+        return float(len(target))
+    if name == "indexOf":
+        return NativeFunction(lambda needle: float(target.find(_to_string(needle))), "indexOf")
+    if name == "substring":
+        return NativeFunction(
+            lambda start, end=None: target[int(start): int(end) if end is not None else None], "substring"
+        )
+    if name == "slice":
+        return NativeFunction(
+            lambda start, end=None: target[int(start): int(end) if end is not None else None], "slice"
+        )
+    if name == "toUpperCase":
+        return NativeFunction(lambda: target.upper(), "toUpperCase")
+    if name == "toLowerCase":
+        return NativeFunction(lambda: target.lower(), "toLowerCase")
+    if name == "split":
+        return NativeFunction(lambda sep=",": target.split(_to_string(sep)), "split")
+    if name == "replace":
+        return NativeFunction(lambda old, new: target.replace(_to_string(old), _to_string(new), 1), "replace")
+    if name == "charAt":
+        return NativeFunction(lambda i: target[int(i)] if 0 <= int(i) < len(target) else "", "charAt")
+    if name == "trim":
+        return NativeFunction(lambda: target.strip(), "trim")
+    if name == "concat":
+        return NativeFunction(lambda *parts: target + "".join(_to_string(p) for p in parts), "concat")
+    try:
+        index = int(name)
+    except ValueError:
+        raise RuntimeScriptError(f"string has no property {name!r}", line) from None
+    return target[index] if 0 <= index < len(target) else None
+
+
+def _standard_library() -> dict[str, Any]:
+    """Globals available to every script regardless of the host environment."""
+    import math
+
+    return {
+        "parseInt": NativeFunction(lambda value, base=10: float(int(_to_string(value).strip() or "0", int(base))), "parseInt"),
+        "parseFloat": NativeFunction(lambda value: _to_number(value), "parseFloat"),
+        "String": NativeFunction(_to_string, "String"),
+        "Number": NativeFunction(_to_number, "Number"),
+        "isNaN": NativeFunction(lambda value: _to_number(value) != _to_number(value), "isNaN"),
+        "Math": _MathHost(),
+        "JSON": _JsonHost(),
+        "undefined": None,
+        "Infinity": math.inf,
+        "NaN": math.nan,
+    }
+
+
+class _MathHost(HostObject):
+    """The ``Math`` global."""
+
+    host_name = "Math"
+
+    def js_get(self, name: str):
+        import math
+
+        members = {
+            "floor": NativeFunction(lambda v: float(math.floor(_to_number(v))), "floor"),
+            "ceil": NativeFunction(lambda v: float(math.ceil(_to_number(v))), "ceil"),
+            "round": NativeFunction(lambda v: float(round(_to_number(v))), "round"),
+            "abs": NativeFunction(lambda v: abs(_to_number(v)), "abs"),
+            "max": NativeFunction(lambda *vs: max(_to_number(v) for v in vs), "max"),
+            "min": NativeFunction(lambda *vs: min(_to_number(v) for v in vs), "min"),
+            "pow": NativeFunction(lambda a, b: _to_number(a) ** _to_number(b), "pow"),
+            "sqrt": NativeFunction(lambda v: math.sqrt(_to_number(v)), "sqrt"),
+            "PI": math.pi,
+            "E": math.e,
+        }
+        if name not in members:
+            raise RuntimeScriptError(f"Math has no property {name!r}")
+        return members[name]
+
+
+class _JsonHost(HostObject):
+    """A small ``JSON`` global (stringify/parse of plain data)."""
+
+    host_name = "JSON"
+
+    def js_get(self, name: str):
+        import json
+
+        if name == "stringify":
+            return NativeFunction(lambda value: json.dumps(_plain(value)), "stringify")
+        if name == "parse":
+            return NativeFunction(lambda text: json.loads(_to_string(text)), "parse")
+        raise RuntimeScriptError(f"JSON has no property {name!r}")
+
+
+def _plain(value):
+    """Convert script values into JSON-serialisable Python structures."""
+    if isinstance(value, list):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, float) and value == int(value):
+        return int(value)
+    if isinstance(value, HostObject):
+        return str(value)
+    return value

@@ -1,0 +1,185 @@
+"""MiniScript lexer.
+
+MiniScript is the reproduction's stand-in for JavaScript: a small,
+JavaScript-flavoured language rich enough to express the scripts the paper's
+applications and attacks need (DOM manipulation, cookie access,
+``XMLHttpRequest`` use, event handlers), implemented entirely from scratch.
+
+The lexer converts source text into a flat token list with line/column
+information for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import LexError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    NUMBER = "number"
+    STRING = "string"
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    PUNCTUATION = "punctuation"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "var",
+        "function",
+        "return",
+        "if",
+        "else",
+        "while",
+        "for",
+        "true",
+        "false",
+        "null",
+        "new",
+        "typeof",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+)
+
+_PUNCTUATION = "(){}[];,.:?"
+
+
+@dataclass(frozen=True)
+class ScriptToken:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_punct(self, mark: str) -> bool:
+        """True when this token is the given punctuation mark."""
+        return self.type is TokenType.PUNCTUATION and self.value == mark
+
+    def is_op(self, op: str) -> bool:
+        """True when this token is the given operator."""
+        return self.type is TokenType.OPERATOR and self.value == op
+
+
+def tokenize_script(source: str) -> list[ScriptToken]:
+    """Tokenise MiniScript source into a list ending with an EOF token."""
+    tokens: list[ScriptToken] = []
+    pos = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if pos < length and source[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+
+    while pos < length:
+        ch = source[pos]
+
+        # Whitespace
+        if ch.isspace():
+            advance(1)
+            continue
+
+        # Comments
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            advance((end - pos) if end != -1 else (length - pos))
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column)
+            advance(end + 2 - pos)
+            continue
+
+        # Strings
+        if ch in "\"'":
+            start_line, start_col = line, column
+            quote = ch
+            advance(1)
+            value_chars: list[str] = []
+            while pos < length and source[pos] != quote:
+                c = source[pos]
+                if c == "\\" and pos + 1 < length:
+                    escape = source[pos + 1]
+                    mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"', "0": "\0"}
+                    value_chars.append(mapping.get(escape, escape))
+                    advance(2)
+                    continue
+                value_chars.append(c)
+                advance(1)
+            if pos >= length:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)  # closing quote
+            tokens.append(ScriptToken(TokenType.STRING, "".join(value_chars), start_line, start_col))
+            continue
+
+        # Numbers
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            start_line, start_col = line, column
+            start = pos
+            seen_dot = False
+            while pos < length and (source[pos].isdigit() or (source[pos] == "." and not seen_dot)):
+                if source[pos] == ".":
+                    seen_dot = True
+                advance(1)
+            tokens.append(ScriptToken(TokenType.NUMBER, source[start:pos], start_line, start_col))
+            continue
+
+        # Identifiers and keywords
+        if ch.isalpha() or ch == "_" or ch == "$":
+            start_line, start_col = line, column
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] in "_$"):
+                advance(1)
+            word = source[start:pos]
+            token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(ScriptToken(token_type, word, start_line, start_col))
+            continue
+
+        # Operators
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(ScriptToken(TokenType.OPERATOR, op, line, column))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+
+        # Punctuation
+        if ch in _PUNCTUATION:
+            tokens.append(ScriptToken(TokenType.PUNCTUATION, ch, line, column))
+            advance(1)
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(ScriptToken(TokenType.EOF, "", line, column))
+    return tokens

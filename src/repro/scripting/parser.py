@@ -1,0 +1,397 @@
+"""MiniScript recursive-descent parser.
+
+Grammar (roughly JavaScript's expression grammar with the usual precedence
+levels)::
+
+    program        := statement*
+    statement      := varDecl | funcDecl | return | if | while | for | break
+                    | continue | block | expressionStatement
+    expression     := assignment
+    assignment     := conditional (('=' | '+=' | '-=' | '*=' | '/=') assignment)?
+    conditional    := logicalOr ('?' expression ':' expression)?
+    logicalOr      := logicalAnd ('||' logicalAnd)*
+    logicalAnd     := equality ('&&' equality)*
+    equality       := comparison (('=='|'!='|'==='|'!==') comparison)*
+    comparison     := additive (('<'|'>'|'<='|'>=') additive)*
+    additive       := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary          := ('!'|'-'|'+'|'typeof') unary | postfix
+    postfix        := primary (call | member | index)*
+    primary        := number | string | true | false | null | identifier
+                    | '(' expression ')' | arrayLiteral | objectLiteral
+                    | functionExpression | newExpression
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import ScriptToken, TokenType, tokenize_script
+
+_ASSIGNMENT_OPERATORS = {"=", "+=", "-=", "*=", "/="}
+
+
+def parse_script(source: str) -> ast.Program:
+    """Parse MiniScript source text into a :class:`~ast_nodes.Program`."""
+    return Parser(tokenize_script(source)).parse_program()
+
+
+class Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[ScriptToken]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> ScriptToken:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> ScriptToken:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, mark: str) -> ScriptToken:
+        token = self._peek()
+        if not token.is_punct(mark):
+            raise ParseError(f"expected {mark!r}, found {token.value!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_identifier(self) -> ScriptToken:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(f"expected identifier, found {token.value!r}", token.line, token.column)
+        return self._advance()
+
+    def _match_punct(self, mark: str) -> bool:
+        if self._peek().is_punct(mark):
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _consume_semicolon(self) -> None:
+        self._match_punct(";")
+
+    # -- program & statements ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        body: list[ast.Node] = []
+        while self._peek().type is not TokenType.EOF:
+            body.append(self._statement())
+        return ast.Program(body=body)
+
+    def _statement(self) -> ast.Node:
+        token = self._peek()
+        if token.is_keyword("var"):
+            return self._var_declaration()
+        if token.is_keyword("function") and self._peek(1).type is TokenType.IDENTIFIER:
+            return self._function_declaration()
+        if token.is_keyword("return"):
+            return self._return_statement()
+        if token.is_keyword("if"):
+            return self._if_statement()
+        if token.is_keyword("while"):
+            return self._while_statement()
+        if token.is_keyword("for"):
+            return self._for_statement()
+        if token.is_keyword("break"):
+            self._advance()
+            self._consume_semicolon()
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._consume_semicolon()
+            return ast.Continue(line=token.line)
+        if token.is_punct("{"):
+            return self._block()
+        expression = self._expression()
+        self._consume_semicolon()
+        return ast.ExpressionStatement(expression=expression, line=token.line)
+
+    def _var_declaration(self) -> ast.Node:
+        keyword = self._advance()
+        name = self._expect_identifier().value
+        initializer = None
+        if self._peek().is_op("="):
+            self._advance()
+            initializer = self._expression()
+        self._consume_semicolon()
+        return ast.VarDeclaration(name=name, initializer=initializer, line=keyword.line)
+
+    def _function_declaration(self) -> ast.Node:
+        keyword = self._advance()
+        name = self._expect_identifier().value
+        parameters = self._parameter_list()
+        body = self._block()
+        return ast.FunctionDeclaration(name=name, parameters=parameters, body=body, line=keyword.line)
+
+    def _parameter_list(self) -> list[str]:
+        self._expect_punct("(")
+        parameters: list[str] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                parameters.append(self._expect_identifier().value)
+                if not self._match_punct(","):
+                    break
+        self._expect_punct(")")
+        return parameters
+
+    def _return_statement(self) -> ast.Node:
+        keyword = self._advance()
+        value = None
+        if not self._peek().is_punct(";") and not self._peek().is_punct("}") \
+                and self._peek().type is not TokenType.EOF:
+            value = self._expression()
+        self._consume_semicolon()
+        return ast.Return(value=value, line=keyword.line)
+
+    def _if_statement(self) -> ast.Node:
+        keyword = self._advance()
+        self._expect_punct("(")
+        test = self._expression()
+        self._expect_punct(")")
+        consequent = self._statement()
+        alternate = None
+        if self._match_keyword("else"):
+            alternate = self._statement()
+        return ast.If(test=test, consequent=consequent, alternate=alternate, line=keyword.line)
+
+    def _while_statement(self) -> ast.Node:
+        keyword = self._advance()
+        self._expect_punct("(")
+        test = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return ast.While(test=test, body=body, line=keyword.line)
+
+    def _for_statement(self) -> ast.Node:
+        keyword = self._advance()
+        self._expect_punct("(")
+        init = None
+        if not self._peek().is_punct(";"):
+            if self._peek().is_keyword("var"):
+                init = self._var_declaration()
+            else:
+                init = ast.ExpressionStatement(expression=self._expression(), line=keyword.line)
+                self._consume_semicolon()
+        else:
+            self._advance()
+        test = None
+        if not self._peek().is_punct(";"):
+            test = self._expression()
+        self._expect_punct(";")
+        update = None
+        if not self._peek().is_punct(")"):
+            update = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return ast.For(init=init, test=test, update=update, body=body, line=keyword.line)
+
+    def _block(self) -> ast.Block:
+        opening = self._expect_punct("{")
+        statements: list[ast.Node] = []
+        while not self._peek().is_punct("}") and self._peek().type is not TokenType.EOF:
+            statements.append(self._statement())
+        self._expect_punct("}")
+        return ast.Block(statements=statements, line=opening.line)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _expression(self) -> ast.Node:
+        return self._assignment()
+
+    def _assignment(self) -> ast.Node:
+        target = self._conditional()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _ASSIGNMENT_OPERATORS:
+            if not isinstance(target, (ast.Identifier, ast.MemberAccess)):
+                raise ParseError("invalid assignment target", token.line, token.column)
+            self._advance()
+            value = self._assignment()
+            return ast.Assignment(target=target, value=value, operator=token.value, line=token.line)
+        return target
+
+    def _conditional(self) -> ast.Node:
+        test = self._logical_or()
+        if self._peek().is_punct("?"):
+            token = self._advance()
+            consequent = self._expression()
+            self._expect_punct(":")
+            alternate = self._expression()
+            return ast.Conditional(test=test, consequent=consequent, alternate=alternate, line=token.line)
+        return test
+
+    def _logical_or(self) -> ast.Node:
+        left = self._logical_and()
+        while self._peek().is_op("||"):
+            token = self._advance()
+            right = self._logical_and()
+            left = ast.Binary(operator="||", left=left, right=right, line=token.line)
+        return left
+
+    def _logical_and(self) -> ast.Node:
+        left = self._equality()
+        while self._peek().is_op("&&"):
+            token = self._advance()
+            right = self._equality()
+            left = ast.Binary(operator="&&", left=left, right=right, line=token.line)
+        return left
+
+    def _equality(self) -> ast.Node:
+        left = self._comparison()
+        while self._peek().type is TokenType.OPERATOR and self._peek().value in ("==", "!=", "===", "!=="):
+            token = self._advance()
+            right = self._comparison()
+            left = ast.Binary(operator=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _comparison(self) -> ast.Node:
+        left = self._additive()
+        while self._peek().type is TokenType.OPERATOR and self._peek().value in ("<", ">", "<=", ">="):
+            token = self._advance()
+            right = self._additive()
+            left = ast.Binary(operator=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _additive(self) -> ast.Node:
+        left = self._multiplicative()
+        while self._peek().type is TokenType.OPERATOR and self._peek().value in ("+", "-"):
+            token = self._advance()
+            right = self._multiplicative()
+            left = ast.Binary(operator=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _multiplicative(self) -> ast.Node:
+        left = self._unary()
+        while self._peek().type is TokenType.OPERATOR and self._peek().value in ("*", "/", "%"):
+            token = self._advance()
+            right = self._unary()
+            left = ast.Binary(operator=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _unary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in ("!", "-", "+"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(operator=token.value, operand=operand, line=token.line)
+        if token.is_keyword("typeof"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(operator="typeof", operand=operand, line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Node:
+        node = self._primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("."):
+                self._advance()
+                name = self._property_name()
+                node = ast.MemberAccess(target=node, name=name, computed=False, line=token.line)
+            elif token.is_punct("["):
+                self._advance()
+                index = self._expression()
+                self._expect_punct("]")
+                node = ast.MemberAccess(target=node, index=index, computed=True, line=token.line)
+            elif token.is_punct("("):
+                arguments = self._argument_list()
+                node = ast.Call(callee=node, arguments=arguments, line=token.line)
+            else:
+                break
+        return node
+
+    def _property_name(self) -> str:
+        token = self._peek()
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._advance()
+            return token.value
+        raise ParseError(f"expected property name, found {token.value!r}", token.line, token.column)
+
+    def _argument_list(self) -> list[ast.Node]:
+        self._expect_punct("(")
+        arguments: list[ast.Node] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                arguments.append(self._expression())
+                if not self._match_punct(","):
+                    break
+        self._expect_punct(")")
+        return arguments
+
+    def _primary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.NumberLiteral(value=float(token.value), line=token.line)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(value=token.value, line=token.line)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BooleanLiteral(value=True, line=token.line)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BooleanLiteral(value=False, line=token.line)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.NullLiteral(line=token.line)
+        if token.is_keyword("new"):
+            self._advance()
+            constructor = self._expect_identifier().value
+            arguments = self._argument_list() if self._peek().is_punct("(") else []
+            return ast.NewExpression(constructor=constructor, arguments=arguments, line=token.line)
+        if token.is_keyword("function"):
+            self._advance()
+            name = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                name = self._advance().value
+            parameters = self._parameter_list()
+            body = self._block()
+            return ast.FunctionExpression(parameters=parameters, body=body, name=name, line=token.line)
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return ast.Identifier(name=token.value, line=token.line)
+        if token.is_punct("("):
+            self._advance()
+            expression = self._expression()
+            self._expect_punct(")")
+            return expression
+        if token.is_punct("["):
+            self._advance()
+            elements: list[ast.Node] = []
+            if not self._peek().is_punct("]"):
+                while True:
+                    elements.append(self._expression())
+                    if not self._match_punct(","):
+                        break
+            self._expect_punct("]")
+            return ast.ArrayLiteral(elements=elements, line=token.line)
+        if token.is_punct("{"):
+            self._advance()
+            entries: list[tuple[str, ast.Node]] = []
+            if not self._peek().is_punct("}"):
+                while True:
+                    key_token = self._peek()
+                    if key_token.type in (TokenType.IDENTIFIER, TokenType.STRING, TokenType.KEYWORD):
+                        self._advance()
+                        key = key_token.value
+                    else:
+                        raise ParseError("expected object key", key_token.line, key_token.column)
+                    self._expect_punct(":")
+                    entries.append((key, self._expression()))
+                    if not self._match_punct(","):
+                        break
+            self._expect_punct("}")
+            return ast.ObjectLiteral(entries=entries, line=token.line)
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)

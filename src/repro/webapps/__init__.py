@@ -1,0 +1,33 @@
+"""Server-side substrate: the web framework and the case-study applications."""
+
+from .blog import Blog, BlogPost, BlogState, Comment
+from .framework import RequestContext, Route, WebApplication
+from .phpbb import PhpBB, ForumState, Post, PrivateMessage, Topic
+from .phpcalendar import CalendarEvent, CalendarState, PhpCalendar
+from .sessions import Session, SessionStore
+from .templates import AcScope, ContentScope, EscudoPageTemplate, ac_scope, render_template
+
+__all__ = [
+    "AcScope",
+    "Blog",
+    "BlogPost",
+    "BlogState",
+    "CalendarEvent",
+    "CalendarState",
+    "Comment",
+    "ContentScope",
+    "EscudoPageTemplate",
+    "ForumState",
+    "PhpBB",
+    "PhpCalendar",
+    "Post",
+    "PrivateMessage",
+    "RequestContext",
+    "Route",
+    "Session",
+    "SessionStore",
+    "Topic",
+    "WebApplication",
+    "ac_scope",
+    "render_template",
+]

@@ -1,0 +1,199 @@
+"""A small server-side web framework.
+
+The case-study applications (phpBB, PHP-Calendar, the blog example and the
+attacker's site) are built on this framework.  It provides the pieces the
+paper's evaluation relies on:
+
+* routing of :class:`~repro.http.messages.HttpRequest` objects to handler
+  methods;
+* cookie-based sessions (login/logout), with the session cookie labelled via
+  the application's ESCUDO configuration;
+* emission of the optional ESCUDO response headers
+  (``X-Escudo-Rings`` / ``X-Escudo-Cookie-Policy`` / ``X-Escudo-Api-Policy``);
+* two switchable "first line of defense" mechanisms that the paper's
+  defence-effectiveness experiments disable: input validation
+  (HTML-escaping of user-supplied text) and secret-token CSRF validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import PageConfiguration
+from repro.http.messages import HttpRequest, HttpResponse
+
+from .sessions import Session, SessionStore
+from repro.html.entities import escape_text
+
+
+@dataclass
+class RequestContext:
+    """Everything a route handler gets to work with."""
+
+    request: HttpRequest
+    app: "WebApplication"
+    session: Session | None = None
+
+    @property
+    def params(self) -> dict[str, str]:
+        """Merged query + form parameters."""
+        return self.request.params
+
+    def param(self, name: str, default: str = "") -> str:
+        """Single parameter with a default."""
+        return self.request.params.get(name, default)
+
+    @property
+    def username(self) -> str | None:
+        """The logged-in user, if any."""
+        return self.session.username if self.session is not None else None
+
+    def clean(self, text: str) -> str:
+        """Apply the application's input-validation policy to user text.
+
+        With ``input_validation`` enabled this HTML-escapes the text (the
+        conventional first line of defence against XSS); with it disabled
+        the text passes through verbatim, which is how the paper's
+        experiments let the injected markup reach the page.
+        """
+        return escape_text(text) if self.app.input_validation else text
+
+
+Handler = Callable[[RequestContext], HttpResponse]
+
+
+@dataclass
+class Route:
+    """One routing table entry."""
+
+    method: str
+    path: str
+    handler: Handler
+    requires_login: bool = False
+
+
+class WebApplication:
+    """Base class for every synthetic server application."""
+
+    #: Cookie carrying the session identifier.  Subclasses override to match
+    #: the real application (phpBB uses ``phpbb2mysql_sid``).
+    session_cookie_name = "session_sid"
+
+    def __init__(
+        self,
+        origin: str,
+        *,
+        escudo_enabled: bool = True,
+        input_validation: bool = True,
+        csrf_protection: bool = False,
+        markup_randomization: bool = True,
+        nonce_seed: str | int | None = None,
+    ) -> None:
+        self.origin = origin
+        self.escudo_enabled = escudo_enabled
+        self.input_validation = input_validation
+        self.csrf_protection = csrf_protection
+        self.markup_randomization = markup_randomization
+        self.nonce_seed = nonce_seed
+        self.sessions = SessionStore(seed=f"{origin}-sessions")
+        self._routes: list[Route] = []
+        self.register_routes()
+
+    # -- subclass API ---------------------------------------------------------------------
+
+    def register_routes(self) -> None:
+        """Subclasses register their routes here."""
+
+    def escudo_configuration(self) -> PageConfiguration:
+        """The application's ESCUDO configuration (headers side).
+
+        Subclasses override to label their cookies and native APIs; the base
+        returns an empty (but enabled) configuration.
+        """
+        return PageConfiguration()
+
+    # -- routing ----------------------------------------------------------------------------
+
+    def route(self, method: str, path: str, handler: Handler, *, requires_login: bool = False) -> None:
+        """Add a route."""
+        self._routes.append(Route(method=method.upper(), path=path, handler=handler,
+                                  requires_login=requires_login))
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Entry point called by the network fabric."""
+        session = self.sessions.get(request.cookies.get(self.session_cookie_name))
+        context = RequestContext(request=request, app=self, session=session)
+        for route in self._routes:
+            if route.method != request.method or route.path != request.url.path:
+                continue
+            if route.requires_login and session is None:
+                return self.decorate(HttpResponse.forbidden("login required"), context)
+            if route.requires_login and self.csrf_protection and request.method == "POST":
+                if not self._csrf_token_valid(context):
+                    return self.decorate(HttpResponse.forbidden("invalid or missing CSRF token"), context)
+            response = route.handler(context)
+            return self.decorate(response, context)
+        return self.decorate(HttpResponse.not_found(f"no route for {request.method} {request.url.path}"), context)
+
+    def decorate(self, response: HttpResponse, context: RequestContext) -> HttpResponse:
+        """Attach the ESCUDO headers (when enabled) to every response."""
+        if self.escudo_enabled and response.content_type.startswith("text/html"):
+            response.apply_escudo_headers(self.escudo_configuration())
+        return response
+
+    # -- sessions --------------------------------------------------------------------------------
+
+    def login(self, context: RequestContext, username: str, response: HttpResponse) -> Session:
+        """Create a session for ``username`` and set the session cookie."""
+        session = self.sessions.create(username)
+        response.set_cookie(self.session_cookie_name, session.session_id, http_only=False)
+        return session
+
+    def logout(self, context: RequestContext, response: HttpResponse) -> None:
+        """Destroy the current session."""
+        if context.session is not None:
+            self.sessions.destroy(context.session.session_id)
+            response.set_cookie(self.session_cookie_name, "", path="/")
+
+    # -- CSRF secret tokens (the server-side defence the paper disables) ---------------------------
+
+    def csrf_token_for(self, session: Session) -> str:
+        """Deterministic per-session secret token."""
+        return hashlib.sha256(f"csrf:{session.session_id}".encode()).hexdigest()[:16]
+
+    def _csrf_token_valid(self, context: RequestContext) -> bool:
+        if context.session is None:
+            return False
+        return context.param("csrf_token") == self.csrf_token_for(context.session)
+
+    def hidden_csrf_field(self, context: RequestContext) -> str:
+        """Markup for the hidden token field (empty when protection is off)."""
+        if not self.csrf_protection or context.session is None:
+            return ""
+        token = self.csrf_token_for(context.session)
+        return f'<input type="hidden" name="csrf_token" value="{token}">'
+
+    # -- misc ---------------------------------------------------------------------------------------
+
+    def nonce_generator(self):
+        """Per-response nonce generator, or ``None`` with markup randomisation off.
+
+        Disabling markup randomisation is only used by the node-splitting
+        ablation benchmark; real deployments always keep it on.
+        """
+        from repro.core.nonce import NonceGenerator
+
+        if not self.markup_randomization:
+            return None
+        return NonceGenerator(self.nonce_seed)
+
+    @property
+    def name(self) -> str:
+        """Application name (class name by default)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "escudo" if self.escudo_enabled else "legacy"
+        return f"<{self.name} at {self.origin} ({mode})>"

@@ -1,0 +1,393 @@
+"""phpBB case study: a multi-user message board.
+
+A functional miniature of phpBB with the structure the paper's case study
+needs (Section 6.2, Tables 2 and 3): users log in, post topics and replies,
+exchange private messages; the web pages mix application chrome (navigation,
+forms, trusted scripts) with user-supplied message bodies.
+
+ESCUDO configuration (Table 3)
+------------------------------
+==================  ====  =======================
+resource            ring  ACL (outermost ring)
+==================  ====  =======================
+session cookies     1     read ≤ 1, write ≤ 1, use ≤ 1
+XMLHttpRequest      1     use ≤ 1
+application chrome  1     read/write ≤ 1
+topics & replies    3     read/write ≤ 2
+private messages    3     read/write ≤ 2
+==================  ====  =======================
+
+The head section (styles plus the trusted unread-message poller script) is
+assigned to ring 0.  Messages are isolated from *each other* because a
+script hidden inside one ring-3 message is a ring-3 principal, while every
+message object's ACL only admits rings 0–2 for writes.
+
+Construction flags mirror the paper's experimental setup:
+
+* ``escudo_enabled=False`` renders the same pages without any ESCUDO
+  markup or headers (the legacy variant);
+* ``input_validation=False`` removes the HTML-escaping of user text
+  ("we removed the input validation routines to facilitate XSS attacks");
+* ``csrf_protection=False`` (the default) removes secret-token validation
+  ("we removed the secret-token validation protection").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.acl import Acl
+from repro.core.config import PageConfiguration, ResourcePolicy
+from repro.core.rings import Ring, RingSet
+from repro.http.messages import HttpResponse
+
+from .framework import RequestContext, WebApplication
+from .templates import EscudoPageTemplate, render_template
+
+#: Ring assignments from Table 3.
+APPLICATION_RING = 1
+MESSAGE_RING = 3
+MESSAGE_ACL_LIMIT = 2
+COOKIE_RING = 1
+XHR_RING = 1
+
+#: The two cookies phpBB creates.
+SID_COOKIE = "phpbb2mysql_sid"
+DATA_COOKIE = "phpbb2mysql_data"
+
+
+@dataclass
+class Post:
+    """One message inside a topic."""
+
+    post_id: int
+    author: str
+    body: str
+
+
+@dataclass
+class Topic:
+    """A discussion thread."""
+
+    topic_id: int
+    title: str
+    author: str
+    posts: list[Post] = field(default_factory=list)
+
+
+@dataclass
+class PrivateMessage:
+    """A user-to-user private message."""
+
+    message_id: int
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+
+
+@dataclass
+class ForumState:
+    """The message board's persistent state (inspectable by tests)."""
+
+    topics: list[Topic] = field(default_factory=list)
+    private_messages: list[PrivateMessage] = field(default_factory=list)
+    topic_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    post_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    message_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+
+    def topic(self, topic_id: int) -> Topic | None:
+        """Look up a topic by id."""
+        for topic in self.topics:
+            if topic.topic_id == topic_id:
+                return topic
+        return None
+
+    def post(self, post_id: int) -> Post | None:
+        """Look up a post by id across every topic."""
+        for topic in self.topics:
+            for post in topic.posts:
+                if post.post_id == post_id:
+                    return post
+        return None
+
+    def messages_for(self, username: str) -> list[PrivateMessage]:
+        """Private messages addressed to ``username``."""
+        return [m for m in self.private_messages if m.recipient == username]
+
+
+class PhpBB(WebApplication):
+    """The phpBB miniature."""
+
+    session_cookie_name = SID_COOKIE
+
+    def __init__(self, origin: str = "http://forum.example.com", **kwargs) -> None:
+        self.state = ForumState()
+        super().__init__(origin, **kwargs)
+        self._seed_content()
+
+    # -- configuration --------------------------------------------------------------------
+
+    def escudo_configuration(self) -> PageConfiguration:
+        """Cookie and native-API ring mappings from Table 3."""
+        config = PageConfiguration(rings=RingSet(3))
+        cookie_policy = ResourcePolicy(ring=Ring(COOKIE_RING), acl=Acl.uniform(COOKIE_RING))
+        config.cookie_policies[SID_COOKIE] = cookie_policy
+        config.cookie_policies[DATA_COOKIE] = cookie_policy
+        config.api_policies["XMLHttpRequest"] = ResourcePolicy(
+            ring=Ring(XHR_RING), acl=Acl.uniform(XHR_RING)
+        )
+        return config
+
+    def register_routes(self) -> None:
+        self.route("GET", "/", self.index)
+        self.route("GET", "/viewtopic", self.view_topic)
+        self.route("GET", "/privmsg", self.private_messages, requires_login=True)
+        self.route("GET", "/api/unread", self.api_unread)
+        self.route("POST", "/login", self.do_login)
+        self.route("POST", "/posting", self.do_post, requires_login=True)
+        self.route("POST", "/edit", self.do_edit, requires_login=True)
+        self.route("POST", "/privmsg_send", self.do_send_message, requires_login=True)
+
+    def _seed_content(self) -> None:
+        """Pre-populate the board so pages have content before any attack runs."""
+        welcome = self.create_topic("admin", "Welcome to the board",
+                                    "Please keep the discussion civil.")
+        self.add_reply(welcome.topic_id, "alice", "Happy to be here!")
+        self.create_topic("bob", "Weekly meetup", "We meet on Thursdays at 6pm.")
+        self.send_private_message("admin", "alice", "Moderation",
+                                  "Thanks for helping moderate the forum.")
+
+    # -- domain operations (also used directly by tests) -----------------------------------------
+
+    def create_topic(self, author: str, title: str, body: str) -> Topic:
+        """Create a topic with its opening post."""
+        topic = Topic(topic_id=next(self.state.topic_counter), title=title, author=author)
+        topic.posts.append(Post(post_id=next(self.state.post_counter), author=author, body=body))
+        self.state.topics.append(topic)
+        return topic
+
+    def add_reply(self, topic_id: int, author: str, body: str) -> Post | None:
+        """Append a reply to a topic."""
+        topic = self.state.topic(topic_id)
+        if topic is None:
+            return None
+        post = Post(post_id=next(self.state.post_counter), author=author, body=body)
+        topic.posts.append(post)
+        return post
+
+    def send_private_message(self, sender: str, recipient: str, subject: str, body: str) -> PrivateMessage:
+        """Store a private message."""
+        message = PrivateMessage(
+            message_id=next(self.state.message_counter),
+            sender=sender,
+            recipient=recipient,
+            subject=subject,
+            body=body,
+        )
+        self.state.private_messages.append(message)
+        return message
+
+    # -- shared page scaffolding ----------------------------------------------------------------------
+
+    def _page(self, title: str, context: RequestContext) -> EscudoPageTemplate:
+        page = EscudoPageTemplate(
+            title=title,
+            escudo_enabled=self.escudo_enabled,
+            nonces=self.nonce_generator(),
+            head_ring=Ring(0),
+            chrome_ring=Ring(APPLICATION_RING),
+        )
+        page.add_head_style("body { font-family: sans-serif; } .post { margin: 8px; }")
+        page.add_head_script("var forumVersion = 'miniBB 1.0';")
+        user = context.username or "guest"
+        # Trusted application script (ring 1 chrome): polls the unread-message
+        # counter over XHR and updates the navigation bar.  Each script runs in
+        # its own environment, so the poller is self-contained.
+        poller = (
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/api/unread');"
+            "xhr.send();"
+            "var badge = document.getElementById('unread-count');"
+            "if (badge != null && xhr.status == 200) { badge.textContent = xhr.responseText; }"
+        )
+        page.add_chrome(
+            render_template(
+                '<h1>miniBB forum</h1><p id="whoami">Logged in as {{ user }}</p>'
+                '<p>Unread private messages: <span id="unread-count">?</span></p>'
+                "<script>{{ poller|safe }}</script>",
+                {"user": user, "poller": poller},
+            ),
+            element_id="forum-header",
+        )
+        return page
+
+    def _message_scope_kwargs(self) -> dict[str, int]:
+        """ACL limits for message scopes (Table 3: rings 0-2 may manipulate)."""
+        return {
+            "ring": MESSAGE_RING,
+            "read": MESSAGE_ACL_LIMIT,
+            "write": MESSAGE_ACL_LIMIT,
+            "use": MESSAGE_ACL_LIMIT,
+        }
+
+    # -- route handlers -------------------------------------------------------------------------------------
+
+    def index(self, context: RequestContext) -> HttpResponse:
+        """Topic list plus the new-topic form."""
+        page = self._page("Forum index", context)
+        rows = "".join(
+            render_template(
+                '<li><a id="topic-link-{{ id }}" href="/viewtopic?t={{ id }}">{{ title }}</a>'
+                " ({{ count }} posts, by {{ author }})</li>",
+                {
+                    "id": topic.topic_id,
+                    "title": topic.title,
+                    "count": len(topic.posts),
+                    "author": topic.author,
+                },
+            )
+            for topic in self.state.topics
+        )
+        page.add_chrome(f'<ul id="topic-list">{rows}</ul>', element_id="topics")
+        page.add_chrome(
+            render_template(
+                '<form id="new-topic-form" method="POST" action="/posting">'
+                '<input type="hidden" name="mode" value="newtopic">'
+                "{{ csrf|safe }}"
+                '<input name="subject" value="">'
+                '<textarea name="message"></textarea>'
+                '<input type="submit" value="Post topic"></form>'
+                '<form id="login-form" method="POST" action="/login">'
+                '<input name="username" value=""><input type="submit" value="Log in"></form>',
+                {"csrf": self.hidden_csrf_field(context)},
+            ),
+            element_id="forms",
+        )
+        return HttpResponse.html(page.render())
+
+    def view_topic(self, context: RequestContext) -> HttpResponse:
+        """One topic with all its posts and the reply form."""
+        try:
+            topic_id = int(context.param("t", "0"))
+        except ValueError:
+            topic_id = 0
+        topic = self.state.topic(topic_id)
+        if topic is None:
+            return HttpResponse.not_found("no such topic")
+        page = self._page(f"Topic: {topic.title}", context)
+        page.add_chrome(
+            render_template('<h2 id="topic-title">{{ title }}</h2>', {"title": topic.title}),
+            element_id="topic-head",
+        )
+        for post in topic.posts:
+            body = context.clean(post.body)
+            page.add_content(
+                render_template(
+                    '<div class="post" id="post-{{ id }}">'
+                    '<span class="author">{{ author }}</span>'
+                    '<div class="post-body" id="post-body-{{ id }}">{{ body|safe }}</div></div>',
+                    {"id": post.post_id, "author": post.author, "body": body},
+                ),
+                element_id=f"post-scope-{post.post_id}",
+                **self._message_scope_kwargs(),
+            )
+        page.add_chrome(
+            render_template(
+                '<form id="reply-form" method="POST" action="/posting">'
+                '<input type="hidden" name="mode" value="reply">'
+                '<input type="hidden" name="t" value="{{ id }}">'
+                "{{ csrf|safe }}"
+                '<textarea name="message"></textarea>'
+                '<input type="submit" value="Reply"></form>',
+                {"id": topic.topic_id, "csrf": self.hidden_csrf_field(context)},
+            ),
+            element_id="reply",
+        )
+        return HttpResponse.html(page.render())
+
+    def private_messages(self, context: RequestContext) -> HttpResponse:
+        """The logged-in user's private inbox."""
+        page = self._page("Private messages", context)
+        messages = self.state.messages_for(context.username or "")
+        for message in messages:
+            body = context.clean(message.body)
+            subject = context.clean(message.subject)
+            page.add_content(
+                render_template(
+                    '<div class="pm" id="pm-{{ id }}"><b>{{ subject|safe }}</b> from {{ sender }}'
+                    '<div class="pm-body" id="pm-body-{{ id }}">{{ body|safe }}</div></div>',
+                    {"id": message.message_id, "subject": subject,
+                     "sender": message.sender, "body": body},
+                ),
+                element_id=f"pm-scope-{message.message_id}",
+                **self._message_scope_kwargs(),
+            )
+        page.add_chrome(
+            render_template(
+                '<form id="pm-form" method="POST" action="/privmsg_send">'
+                "{{ csrf|safe }}"
+                '<input name="to" value=""><input name="subject" value="">'
+                '<textarea name="body"></textarea>'
+                '<input type="submit" value="Send"></form>',
+                {"csrf": self.hidden_csrf_field(context)},
+            ),
+            element_id="pm-compose",
+        )
+        return HttpResponse.html(page.render())
+
+    def api_unread(self, context: RequestContext) -> HttpResponse:
+        """Unread private-message count (consumed by the trusted XHR script)."""
+        count = len(self.state.messages_for(context.username or ""))
+        return HttpResponse.text(str(count))
+
+    def do_login(self, context: RequestContext) -> HttpResponse:
+        """Create a session and set the two phpBB cookies."""
+        username = context.param("username").strip() or "anonymous"
+        response = HttpResponse.redirect("/")
+        session = self.login(context, username, response)
+        response.set_cookie(DATA_COOKIE, f"user={username}", http_only=False)
+        session.set("prefs", {"theme": "default"})
+        return response
+
+    def do_post(self, context: RequestContext) -> HttpResponse:
+        """Create a topic or a reply on behalf of the logged-in user."""
+        mode = context.param("mode", "reply")
+        author = context.username or "anonymous"
+        if mode == "newtopic":
+            subject = context.param("subject", "(no subject)")
+            self.create_topic(author, subject, context.param("message", ""))
+            return HttpResponse.redirect("/")
+        try:
+            topic_id = int(context.param("t", "0"))
+        except ValueError:
+            topic_id = 0
+        post = self.add_reply(topic_id, author, context.param("message", ""))
+        if post is None:
+            return HttpResponse.not_found("no such topic")
+        return HttpResponse.redirect(f"/viewtopic?t={topic_id}")
+
+    def do_edit(self, context: RequestContext) -> HttpResponse:
+        """Modify an existing post (only by its author)."""
+        try:
+            post_id = int(context.param("post_id", "0"))
+        except ValueError:
+            post_id = 0
+        post = self.state.post(post_id)
+        if post is None:
+            return HttpResponse.not_found("no such post")
+        if post.author != (context.username or ""):
+            return HttpResponse.forbidden("only the author may edit a post")
+        post.body = context.param("message", post.body)
+        return HttpResponse.redirect("/")
+
+    def do_send_message(self, context: RequestContext) -> HttpResponse:
+        """Send a private message from the logged-in user."""
+        self.send_private_message(
+            sender=context.username or "anonymous",
+            recipient=context.param("to", ""),
+            subject=context.param("subject", "(no subject)"),
+            body=context.param("body", ""),
+        )
+        return HttpResponse.redirect("/privmsg")

@@ -1,0 +1,73 @@
+"""Server-side sessions for the synthetic web applications.
+
+Both case-study applications (phpBB and PHP-Calendar) authenticate users and
+track them with session cookies -- the very cookies whose protection the
+ESCUDO configurations in Tables 3 and 5 are about.  The session store is
+ordinary server-side bookkeeping; what matters for the reproduction is that
+the session *identifier* travels in a cookie the application labels with a
+ring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Session:
+    """One logged-in session."""
+
+    session_id: str
+    username: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default=None):
+        """Read a value from the session."""
+        return self.data.get(key, default)
+
+    def set(self, key: str, value) -> None:
+        """Store a value in the session."""
+        self.data[key] = value
+
+
+class SessionStore:
+    """In-memory session registry keyed by session id.
+
+    Session identifiers are deterministic given the store's seed, which
+    keeps experiments reproducible without weakening the point being made
+    (an attacker in the experiments never guesses identifiers; they try to
+    *ride* or *steal* them).
+    """
+
+    def __init__(self, seed: str = "session-store") -> None:
+        self._seed = seed
+        self._counter = itertools.count(1)
+        self._sessions: dict[str, Session] = {}
+
+    def create(self, username: str) -> Session:
+        """Create a session for ``username`` and return it."""
+        index = next(self._counter)
+        session_id = hashlib.sha256(f"{self._seed}:{username}:{index}".encode()).hexdigest()[:24]
+        session = Session(session_id=session_id, username=username)
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str | None) -> Session | None:
+        """Look up a session by id (``None`` for unknown/missing ids)."""
+        if not session_id:
+            return None
+        return self._sessions.get(session_id)
+
+    def destroy(self, session_id: str) -> None:
+        """Log a session out."""
+        self._sessions.pop(session_id, None)
+
+    def sessions_for(self, username: str) -> list[Session]:
+        """Every live session belonging to ``username``."""
+        return [s for s in self._sessions.values() if s.username == username]
+
+    def __len__(self) -> int:
+        return len(self._sessions)

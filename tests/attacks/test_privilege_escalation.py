@@ -1,0 +1,66 @@
+"""Tests for the Section-5 privilege-escalation attempts via the DOM API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.harness import build_environment, login_victim
+from repro.attacks.privilege_escalation import (
+    all_privilege_escalation_attacks,
+    fake_chrome_ring,
+    mint_privileged_child_attack,
+    remap_attack,
+    tamper_denials,
+)
+
+
+def run(attack, *, model: str = "escudo"):
+    env = build_environment("phpbb", model)
+    login_victim(env)
+    attack.plant(env)
+    attack.victim_action(env)
+    return env, attack
+
+
+class TestCorpus:
+    def test_both_section5_strategies_are_covered(self):
+        attacks = all_privilege_escalation_attacks()
+        assert len(attacks) == 2
+        assert {a.category for a in attacks} == {"privilege-escalation"}
+
+
+class TestRemapOwnScope:
+    def test_setattribute_on_the_ring_attribute_is_refused(self):
+        env, attack = run(remap_attack())
+        assert not attack.succeeded(env)
+        # The attempt is recorded as a tamper-protection denial.
+        assert tamper_denials(env) >= 1
+        # The AC tag's markup is untouched.
+        scope = env.loaded.page.document.get_element_by_id("post-scope-1")
+        assert scope is not None and scope.get_attribute("ring") == "3"
+
+    def test_followup_chrome_write_still_fails(self):
+        env, attack = run(remap_attack())
+        header = env.loaded.page.document.get_element_by_id("whoami")
+        assert "escalated" not in header.text_content
+
+
+class TestMintPrivilegedChild:
+    def test_innerhtml_claimed_ring_is_clamped_by_the_scoping_rule(self):
+        env, attack = run(mint_privileged_child_attack())
+        assert not attack.succeeded(env)
+        injected_ring = fake_chrome_ring(env)
+        # The ring-3 script may write inside its own message scope, so the div
+        # may exist -- but never with more privilege than its creator.
+        assert injected_ring in (None, 3)
+
+    def test_under_sop_the_same_payload_defaces_the_chrome(self):
+        env, attack = run(mint_privileged_child_attack(), model="sop")
+        assert attack.succeeded(env)
+
+
+class TestEscalationMatrix:
+    @pytest.mark.parametrize("attack", all_privilege_escalation_attacks(), ids=lambda a: a.name)
+    def test_every_escalation_attempt_is_neutralised_under_escudo(self, attack):
+        result = attack.run("escudo")
+        assert result.neutralized

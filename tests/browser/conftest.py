@@ -1,0 +1,87 @@
+"""Shared fixtures for the browser-substrate tests.
+
+The fixtures build a small "forum-like" page by hand (chrome at ring 1, a
+user message at ring 3 whose ACL allows writes only from rings 0-2), served
+over the in-process network with an ESCUDO cookie/API policy -- the smallest
+configuration that exercises every mediation point of the browser.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acl import Acl
+from repro.core.config import PageConfiguration, ResourcePolicy
+from repro.core.rings import Ring, RingSet
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.network import Network
+
+ORIGIN_TEXT = "http://forum.example.com"
+
+#: The test page: ring-1 chrome (banner + status), ring-3 user message whose
+#: ACL keeps even same-ring principals from touching it (w=2), and a trusted
+#: inline script in the chrome scope.
+FORUM_BODY = (
+    "<!DOCTYPE html><html><head><title>Mini forum</title></head><body>"
+    '<div ring="1" r="1" w="1" x="1" id="chrome">'
+    '<h1 id="banner">Mini forum</h1>'
+    '<p id="status">ready</p>'
+    '<a id="home-link" href="/index">home</a>'
+    '<img id="logo" src="/logo.png">'
+    '<form id="reply-form" method="POST" action="/posting">'
+    '<input type="hidden" name="mode" value="reply">'
+    '<textarea name="message"></textarea>'
+    "</form>"
+    "</div>"
+    '<div ring="3" r="2" w="2" x="2" id="message-scope">'
+    '<div class="message" id="message-1">hello from a user</div>'
+    "</div>"
+    "</body></html>"
+)
+
+
+def forum_configuration() -> PageConfiguration:
+    """Ring-1 session cookie + ring-1 XMLHttpRequest, rings 0..3."""
+    configuration = PageConfiguration(rings=RingSet(3))
+    configuration.cookie_policies["sid"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+    configuration.api_policies["XMLHttpRequest"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+    return configuration
+
+
+class ForumServer:
+    """Serves the forum page (with ESCUDO headers + session cookie) and an API."""
+
+    def __init__(self, body: str = FORUM_BODY, *, escudo: bool = True) -> None:
+        self.body = body
+        self.escudo = escudo
+        self.requests: list[HttpRequest] = []
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        self.requests.append(request)
+        if request.url.path == "/api/unread":
+            return HttpResponse.text("3")
+        if request.url.path == "/logo.png":
+            return HttpResponse.text("binary-ish image bytes")
+        if request.url.path == "/go":
+            return HttpResponse.redirect("/viewtopic?t=1")
+        if request.url.path in ("/posting", "/index"):
+            return HttpResponse.html("<html><body><p id='ack'>ok</p></body></html>")
+        response = HttpResponse.html(self.body)
+        response.set_cookie("sid", "victim-session")
+        if self.escudo:
+            response.apply_escudo_headers(forum_configuration())
+        return response
+
+
+@pytest.fixture
+def forum_network() -> tuple[Network, ForumServer]:
+    """A network with the forum registered at its origin."""
+    server = ForumServer()
+    network = Network()
+    network.register(ORIGIN_TEXT, server)
+    return network, server
+
+
+@pytest.fixture
+def forum_url() -> str:
+    return f"{ORIGIN_TEXT}/viewtopic?t=1"

@@ -1,0 +1,152 @@
+"""Tests for the labelling engine (configuration extraction & tracking)."""
+
+from __future__ import annotations
+
+from repro.core.acl import Acl
+from repro.core.config import PageConfiguration
+from repro.core.origin import Origin
+from repro.core.rings import Ring, RingSet
+from repro.browser.labeler import PageLabeler, document_uses_escudo
+from repro.html.parser import parse_document
+
+ORIGIN = Origin.parse("http://app.example.com")
+
+
+def escudo_configuration() -> PageConfiguration:
+    return PageConfiguration(rings=RingSet(3), escudo_enabled=True)
+
+
+def label(markup: str, *, escudo: bool = True, enforce_scoping: bool = True):
+    document = parse_document(markup, url="http://app.example.com/")
+    configuration = escudo_configuration() if escudo else PageConfiguration.legacy()
+    labeler = PageLabeler(ORIGIN, configuration, escudo_enabled=escudo, enforce_scoping=enforce_scoping)
+    stats = labeler.label_document(document)
+    return document, stats
+
+
+class TestDefaults:
+    def test_escudo_page_default_is_least_privileged_with_ring0_acl(self):
+        labeler = PageLabeler(ORIGIN, escudo_configuration(), escudo_enabled=True)
+        context = labeler.page_default_context()
+        assert context.ring == Ring(3)
+        assert context.acl == Acl.default()
+
+    def test_legacy_page_default_is_single_ring_zero(self):
+        labeler = PageLabeler(ORIGIN, PageConfiguration.legacy(), escudo_enabled=False)
+        context = labeler.page_default_context()
+        assert context.ring == Ring(0)
+        assert context.acl == Acl.uniform(0)
+
+    def test_unlabelled_content_gets_the_fail_safe_default(self):
+        document, _ = label("<html><body><p id='x'>plain</p></body></html>")
+        context = document.get_element_by_id("x").security_context
+        assert context.ring == Ring(3)
+        assert context.acl == Acl.default()
+
+
+class TestAcTagLabelling:
+    def test_ac_tag_scope_applies_to_every_descendant(self):
+        document, stats = label(
+            "<html><body>"
+            '<div ring="1" r="1" w="1" x="1" id="chrome"><h1 id="title">App</h1><p id="note">hi</p></div>'
+            "</body></html>"
+        )
+        for element_id in ("chrome", "title", "note"):
+            context = document.get_element_by_id(element_id).security_context
+            assert context.ring == Ring(1)
+            assert context.acl == Acl.uniform(1)
+        assert stats.ac_tags == 1
+
+    def test_missing_acl_defaults_to_ring_zero_only(self):
+        document, _ = label('<html><body><div ring="2" id="scope"><p id="inner">x</p></div></body></html>')
+        context = document.get_element_by_id("inner").security_context
+        assert context.ring == Ring(2)
+        assert context.acl == Acl.default()
+
+    def test_nested_scopes_take_inner_labels(self):
+        document, stats = label(
+            "<html><body>"
+            '<div ring="1" id="outer">'
+            '<div ring="3" r="2" w="2" x="2" id="inner"><span id="leaf">user text</span></div>'
+            "</div>"
+            "</body></html>"
+        )
+        assert document.get_element_by_id("outer").security_context.ring == Ring(1)
+        assert document.get_element_by_id("leaf").security_context.ring == Ring(3)
+        assert stats.ac_tags == 2
+
+    def test_ring_mapping_happens_exactly_once(self):
+        document, _ = label('<html><body><div ring="1" id="scope">x</div></body></html>')
+        # A second labelling pass must not silently relabel anything.
+        labeler = PageLabeler(ORIGIN, escudo_configuration(), escudo_enabled=True)
+        stats = labeler.label_document(document)
+        assert document.get_element_by_id("scope").security_context.ring == Ring(1)
+        assert stats.labelled_elements > 0  # the walk ran, but contexts were preserved
+
+    def test_declared_ring_beyond_universe_is_clamped(self):
+        document, _ = label('<html><body><div ring="9" id="scope">x</div></body></html>')
+        assert document.get_element_by_id("scope").security_context.ring == Ring(3)
+
+
+class TestScopingRule:
+    NESTED = (
+        "<html><body>"
+        '<div ring="3" id="outer">'
+        '<div ring="0" id="escalator"><script id="payload">attack()</script></div>'
+        "</div>"
+        "</body></html>"
+    )
+
+    def test_inner_scope_cannot_be_more_privileged_than_outer(self):
+        document, stats = label(self.NESTED)
+        assert document.get_element_by_id("escalator").security_context.ring == Ring(3)
+        assert document.get_element_by_id("payload").security_context.ring == Ring(3)
+        assert stats.scoping_clamps == 1
+
+    def test_ablation_disabling_scoping_lets_the_claim_through(self):
+        document, stats = label(self.NESTED, enforce_scoping=False)
+        assert document.get_element_by_id("escalator").security_context.ring == Ring(0)
+        # The violation is still *counted* even when not enforced.
+        assert stats.scoping_clamps == 1
+
+    def test_top_level_ac_tags_are_not_bounded_by_each_other(self):
+        document, _ = label(
+            "<html><body>"
+            '<div ring="3" id="low">user</div>'
+            '<div ring="1" id="high">chrome</div>'
+            "</body></html>"
+        )
+        assert document.get_element_by_id("low").security_context.ring == Ring(3)
+        assert document.get_element_by_id("high").security_context.ring == Ring(1)
+
+
+class TestLegacyPages:
+    def test_legacy_labelling_puts_everything_in_ring_zero(self):
+        document, stats = label(
+            '<html><body><div ring="3" id="scope"><p id="inner">x</p></div></body></html>',
+            escudo=False,
+        )
+        assert document.get_element_by_id("scope").security_context.ring == Ring(0)
+        assert document.get_element_by_id("inner").security_context.ring == Ring(0)
+        assert stats.ac_tags == 0
+        assert set(stats.ring_histogram) == {0}
+
+
+class TestStatsAndDetection:
+    def test_histogram_counts_each_element_once(self):
+        document, stats = label(
+            "<html><body>"
+            '<div ring="1" id="chrome"><p>a</p></div>'
+            '<div ring="3" id="user"><p>b</p><p>c</p></div>'
+            "</body></html>"
+        )
+        assert stats.labelled_elements == document.count_elements()
+        assert sum(stats.ring_histogram.values()) == stats.labelled_elements
+        assert stats.ring_histogram[1] == 2  # the chrome div + its p
+        assert stats.ring_histogram[3] >= 3  # user div, 2 p (html/body are ring 3 defaults)
+
+    def test_document_uses_escudo_detects_ac_tags(self):
+        assert document_uses_escudo(parse_document('<div ring="2">x</div>'))
+        assert document_uses_escudo(parse_document('<div w="0">x</div>'))
+        assert not document_uses_escudo(parse_document('<div class="plain">x</div>'))
+        assert not document_uses_escudo(parse_document("<p>no divs at all</p>"))

@@ -1,0 +1,69 @@
+"""Tests for the synthetic renderer (layout boxes + render statistics)."""
+
+from __future__ import annotations
+
+from repro.browser.renderer import Renderer, measure_text, render_document
+from repro.html.parser import parse_document
+
+PAGE = (
+    "<html><head><title>Render me</title></head><body>"
+    "<h1>Heading</h1>"
+    "<p>Some paragraph text that is long enough to measure.</p>"
+    '<div class="box"><span>inline one</span><span>inline two</span></div>'
+    "<script>var invisible = true;</script>"
+    "</body></html>"
+)
+
+
+class TestTextMeasurement:
+    def test_empty_text_has_zero_width(self):
+        assert measure_text("") == 0.0
+
+    def test_longer_text_is_wider(self):
+        assert measure_text("a long run of text") > measure_text("short")
+
+    def test_width_is_additive(self):
+        assert abs(measure_text("ab" * 10) - 10 * measure_text("ab")) < 1e-9
+
+
+class TestRendering:
+    def test_render_produces_boxes_and_stats(self):
+        document = parse_document(PAGE)
+        root, stats = Renderer().render(document)
+        assert stats.boxes == root.box_count()
+        assert stats.boxes > 5
+        assert stats.text_runs > 0
+        assert stats.characters > 20
+        assert stats.document_height > 0
+
+    def test_script_and_head_content_is_not_rendered(self):
+        document = parse_document(PAGE)
+        _, stats = Renderer().render(document)
+        assert stats.skipped_elements >= 1
+
+    def test_empty_document_renders_to_a_single_viewport_box(self):
+        document = parse_document("")
+        root, stats = Renderer().render(document)
+        assert stats.boxes == 1
+        assert root.element_tag == "viewport"
+
+    def test_viewport_width_is_respected(self):
+        document = parse_document(PAGE)
+        narrow_root, _ = Renderer(viewport_width=320).render(document)
+        wide_root, _ = Renderer(viewport_width=1920).render(document)
+        assert narrow_root.width == 320
+        assert wide_root.width == 1920
+
+    def test_more_content_means_more_boxes_and_height(self):
+        small = parse_document("<html><body><p>one</p></body></html>")
+        large = parse_document(
+            "<html><body>" + "".join(f"<p>paragraph {i} with some text</p>" for i in range(40)) + "</body></html>"
+        )
+        _, small_stats = Renderer().render(small)
+        _, large_stats = Renderer().render(large)
+        assert large_stats.boxes > small_stats.boxes
+        assert large_stats.document_height > small_stats.document_height
+
+    def test_render_document_convenience(self):
+        stats = render_document(parse_document(PAGE))
+        assert stats.boxes > 0

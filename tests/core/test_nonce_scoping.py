@@ -1,0 +1,141 @@
+"""Tests for markup randomisation (nonces) and the scoping rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NonceError, ScopingViolation
+from repro.core.nonce import NonceGenerator, NonceValidator
+from repro.core.rings import Ring
+from repro.core.scoping import (
+    audit_tree,
+    clamp_chain,
+    effective_ring,
+    is_violation,
+    require_within_scope,
+)
+
+
+class TestNonceGenerator:
+    def test_seeded_generator_is_deterministic(self):
+        first = [NonceGenerator(seed=7).next_nonce() for _ in range(3)]
+        second = [NonceGenerator(seed=7).next_nonce() for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert NonceGenerator(seed=1).next_nonce() != NonceGenerator(seed=2).next_nonce()
+
+    def test_successive_nonces_differ(self):
+        generator = NonceGenerator(seed="page")
+        assert generator.next_nonce() != generator.next_nonce()
+
+    def test_unseeded_generator_produces_unique_values(self):
+        generator = NonceGenerator()
+        values = {generator.next_nonce() for _ in range(20)}
+        assert len(values) == 20
+
+    def test_iteration_protocol(self):
+        generator = iter(NonceGenerator(seed=3))
+        assert next(generator) != next(generator)
+
+
+class TestNonceValidator:
+    def test_matching_nonce_accepted(self):
+        validator = NonceValidator()
+        assert validator.matches("abc", "abc")
+        assert validator.rejected_count == 0
+
+    def test_mismatching_nonce_rejected_and_recorded(self):
+        validator = NonceValidator()
+        assert not validator.matches("abc", "zzz", context="</div> in reply")
+        assert validator.rejected_count == 1
+        assert "zzz" in str(validator.mismatches[0])
+
+    def test_missing_closing_nonce_rejected_when_opening_has_one(self):
+        validator = NonceValidator()
+        assert not validator.matches("abc", None)
+
+    def test_unlabelled_scope_accepts_any_terminator(self):
+        validator = NonceValidator()
+        assert validator.matches(None, None)
+        assert validator.matches(None, "whatever")
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(NonceError):
+            NonceValidator(strict=True).matches("abc", "nope")
+
+    def test_reset_clears_mismatches(self):
+        validator = NonceValidator()
+        validator.matches("a", "b")
+        validator.reset()
+        assert validator.rejected_count == 0
+
+    def test_length_difference_is_a_mismatch(self):
+        assert not NonceValidator().matches("abcd", "abc")
+
+
+class TestScopingRule:
+    def test_child_cannot_exceed_parent_privilege(self):
+        assert effective_ring(Ring(0), Ring(2)) == Ring(2)
+        assert effective_ring(1, 3) == Ring(3)
+
+    def test_child_may_be_less_privileged(self):
+        assert effective_ring(Ring(3), Ring(1)) == Ring(3)
+
+    def test_missing_declaration_inherits_scope(self):
+        assert effective_ring(None, Ring(2)) == Ring(2)
+
+    def test_is_violation(self):
+        assert is_violation(Ring(0), Ring(2))
+        assert not is_violation(Ring(2), Ring(2))
+        assert not is_violation(None, Ring(1))
+
+    def test_require_within_scope_raises_on_violation(self):
+        with pytest.raises(ScopingViolation):
+            require_within_scope(Ring(0), Ring(3), path="body/div")
+
+    def test_require_within_scope_returns_effective_ring(self):
+        assert require_within_scope(Ring(3), Ring(1)) == Ring(3)
+
+    def test_clamp_chain(self):
+        chain = list(clamp_chain([Ring(1), Ring(0), None, Ring(3)], Ring(1)))
+        assert chain == [Ring(1), Ring(1), Ring(1), Ring(3)]
+
+
+class _FakeScope:
+    """Minimal LabeledScope implementation for audit_tree tests."""
+
+    def __init__(self, declared, children=(), path="scope"):
+        self._declared = Ring(declared) if declared is not None else None
+        self._children = list(children)
+        self._path = path
+
+    @property
+    def declared_ring(self):
+        return self._declared
+
+    @property
+    def scope_path(self):
+        return self._path
+
+    def child_scopes(self):
+        return self._children
+
+
+class TestAuditTree:
+    def test_reports_nested_violation(self):
+        tree = _FakeScope(2, [_FakeScope(0, path="outer/inner")], path="outer")
+        reports = audit_tree(tree, Ring(0))
+        assert len(reports) == 1
+        assert reports[0].path == "outer/inner"
+        assert reports[0].clamped_to == Ring(2)
+
+    def test_clean_tree_reports_nothing(self):
+        tree = _FakeScope(1, [_FakeScope(2), _FakeScope(3, [_FakeScope(None)])])
+        assert audit_tree(tree, Ring(0)) == []
+
+    def test_violations_propagate_clamped_bound(self):
+        # inner claims 0 under a clamped-to-3 parent: still a violation.
+        tree = _FakeScope(3, [_FakeScope(1, [_FakeScope(0, path="deep")], path="mid")])
+        reports = audit_tree(tree, Ring(0))
+        assert {r.path for r in reports} == {"mid", "deep"}

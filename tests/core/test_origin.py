@@ -1,0 +1,77 @@
+"""Tests for web origins (the same-origin triple)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.origin import Origin
+
+
+class TestOriginParsing:
+    def test_parse_basic_http_url(self):
+        origin = Origin.parse("http://www.amazon.com/index.php")
+        assert origin == Origin("http", "www.amazon.com", 80)
+
+    def test_path_does_not_matter(self):
+        left = Origin.parse("http://www.amazon.com/index.php")
+        right = Origin.parse("http://www.amazon.com/search.php?q=books#top")
+        assert left.same_origin_as(right)
+
+    def test_different_domains_are_different_origins(self):
+        assert not Origin.parse("http://www.gmail.com").same_origin_as(
+            Origin.parse("http://www.amazon.com")
+        )
+
+    def test_different_protocols_are_different_origins(self):
+        assert not Origin.parse("http://www.gmail.com").same_origin_as(
+            Origin.parse("https://www.gmail.com")
+        )
+
+    def test_different_ports_are_different_origins(self):
+        assert Origin.parse("http://host.example:8080") != Origin.parse("http://host.example:9090")
+
+    def test_default_port_matches_explicit_default(self):
+        assert Origin.parse("http://example.com") == Origin.parse("http://example.com:80")
+        assert Origin.parse("https://example.com") == Origin.parse("https://example.com:443")
+
+    def test_case_insensitive_scheme_and_host(self):
+        assert Origin.parse("HTTP://Example.COM/") == Origin.parse("http://example.com/")
+
+    def test_userinfo_is_ignored(self):
+        assert Origin.parse("http://user:pw@example.com/x") == Origin.parse("http://example.com")
+
+    def test_missing_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Origin.parse("www.example.com/path")
+
+    def test_missing_host_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Origin.parse("http:///path")
+
+    def test_malformed_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Origin.parse("http://example.com:http/")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Origin.parse("   ")
+
+
+class TestOriginValue:
+    def test_of_defaults_port_from_scheme(self):
+        assert Origin.of("https", "example.com").port == 443
+
+    def test_url_prefix_omits_default_port(self):
+        assert Origin.parse("http://example.com:80").url_prefix() == "http://example.com"
+        assert Origin.parse("http://example.com:8080").url_prefix() == "http://example.com:8080"
+
+    def test_str_is_url_prefix(self):
+        assert str(Origin.of("http", "example.com")) == "http://example.com"
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Origin("http", "example.com", 0)
+
+    def test_origins_are_hashable(self):
+        assert len({Origin.of("http", "a.com"), Origin.of("http", "a.com")}) == 1

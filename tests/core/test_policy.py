@@ -1,0 +1,134 @@
+"""Tests for the three-rule ESCUDO policy (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import Operation, Rule
+from repro.core.policy import EscudoPolicy, evaluate_matrix, explain
+from tests.conftest import make_context
+
+
+@pytest.fixture
+def policy():
+    return EscudoPolicy()
+
+
+class TestOriginRule:
+    def test_cross_origin_access_denied(self, policy, origin, other_origin):
+        principal = make_context(other_origin, 0)
+        target = make_context(origin, 3)
+        decision = policy.check(principal, target, Operation.READ)
+        assert decision.denied
+        assert decision.denying_rule is Rule.ORIGIN
+
+    def test_same_origin_passes_origin_rule(self, policy, origin):
+        decision = policy.check(make_context(origin, 0), make_context(origin, 3), "read")
+        assert decision.outcome_for(Rule.ORIGIN).passed
+
+    def test_trusted_browser_principal_bypasses_origin_rule(self, policy, origin, other_origin):
+        browser = make_context(other_origin, 0).__class__(
+            origin=other_origin, ring=make_context(other_origin, 0).ring,
+            acl=make_context(other_origin, 0).acl, label="browser", trusted=True,
+        )
+        decision = policy.check(browser, make_context(origin, 0), Operation.USE)
+        assert decision.outcome_for(Rule.ORIGIN).passed
+
+
+class TestRingRule:
+    def test_more_privileged_principal_allowed(self, policy, origin):
+        decision = policy.check(make_context(origin, 1), make_context(origin, 3), Operation.WRITE)
+        assert decision.allowed
+
+    def test_equal_ring_allowed_by_ring_rule(self, policy, origin):
+        decision = policy.check(make_context(origin, 2), make_context(origin, 2), Operation.READ)
+        assert decision.outcome_for(Rule.RING).passed
+
+    def test_less_privileged_principal_denied(self, policy, origin):
+        decision = policy.check(make_context(origin, 3), make_context(origin, 1), Operation.READ)
+        assert decision.denied
+        assert decision.denying_rule is Rule.RING
+
+    @pytest.mark.parametrize("principal_ring,object_ring,expected", [
+        (0, 0, True), (0, 3, True), (1, 2, True), (2, 2, True),
+        (3, 2, False), (2, 0, False), (3, 0, False),
+    ])
+    def test_ring_rule_matrix(self, policy, origin, principal_ring, object_ring, expected):
+        decision = policy.check(
+            make_context(origin, principal_ring),
+            make_context(origin, object_ring),
+            Operation.READ,
+        )
+        assert decision.outcome_for(Rule.RING).passed is expected
+
+
+class TestAclRule:
+    def test_acl_further_restricts_within_same_ring(self, policy, origin):
+        # Two ring-3 messages with ACL write limit 2: neither may write the other.
+        principal = make_context(origin, 3)
+        target = make_context(origin, 3, read=2, write=2, use=2)
+        assert policy.check(principal, target, Operation.WRITE).denying_rule is Rule.ACL
+
+    def test_acl_per_operation(self, policy, origin):
+        target = make_context(origin, 2, read=1, write=0, use=2)
+        reader = make_context(origin, 1)
+        assert policy.check(reader, target, Operation.READ).allowed
+        assert policy.check(reader, target, Operation.WRITE).denied
+        assert policy.check(reader, target, Operation.USE).allowed
+
+    def test_over_permissive_acl_cannot_override_ring_rule(self, policy, origin):
+        """Paper: an ACL less restrictive than the ring is ineffective."""
+        target = make_context(origin, 1, read=3, write=3, use=3)
+        weak_principal = make_context(origin, 3)
+        decision = policy.check(weak_principal, target, Operation.READ)
+        assert decision.denied
+        assert decision.denying_rule is Rule.RING
+
+    def test_figure2_example(self, policy, origin):
+        """<div ring=2 r=1 w=0 x=2>: reads up to ring 1, writes only ring 0, use up to 2."""
+        target = make_context(origin, 2, read=1, write=0, use=2)
+        assert policy.check(make_context(origin, 1), target, Operation.READ).allowed
+        assert policy.check(make_context(origin, 2), target, Operation.READ).denied
+        assert policy.check(make_context(origin, 1), target, Operation.WRITE).denied
+        assert policy.check(make_context(origin, 0), target, Operation.WRITE).allowed
+        assert policy.check(make_context(origin, 2), target, Operation.USE).allowed
+
+
+class TestPolicyToggles:
+    def test_all_rules_evaluated_by_default(self, policy, origin):
+        decision = policy.check(make_context(origin, 0), make_context(origin, 0), "read")
+        assert {outcome.rule for outcome in decision.outcomes} == {Rule.ORIGIN, Rule.RING, Rule.ACL}
+
+    def test_disabled_acl_rule_is_not_evaluated(self, origin):
+        policy = EscudoPolicy(enforce_acl_rule=False)
+        decision = policy.check(
+            make_context(origin, 3), make_context(origin, 3, write=2), Operation.WRITE
+        )
+        assert decision.allowed
+        assert decision.outcome_for(Rule.ACL) is None
+
+    def test_disabled_ring_rule_keeps_acl_protection(self, origin):
+        policy = EscudoPolicy(enforce_ring_rule=False)
+        decision = policy.check(
+            make_context(origin, 3), make_context(origin, 1, write=1), Operation.WRITE
+        )
+        assert decision.denied
+        assert decision.denying_rule is Rule.ACL
+
+
+class TestHelpers:
+    def test_explain_lists_every_rule(self, policy, origin):
+        decision = policy.check(make_context(origin, 3), make_context(origin, 1), "write")
+        text = explain(decision)
+        assert "origin-rule" in text and "ring-rule" in text and "acl-rule" in text
+
+    def test_evaluate_matrix_covers_cross_product(self, policy, origin):
+        principals = [("a", make_context(origin, 1)), ("b", make_context(origin, 3))]
+        objects = [("x", make_context(origin, 2)), ("y", make_context(origin, 3))]
+        decisions = evaluate_matrix(policy, principals, objects)
+        assert len(decisions) == 2 * 2 * 3
+        assert {d.policy for d in decisions} == {"escudo"}
+
+    def test_check_accepts_operation_names(self, policy, origin):
+        decision = policy.check(make_context(origin, 0), make_context(origin, 0), "x")
+        assert decision.operation is Operation.USE

@@ -1,0 +1,91 @@
+"""Property-based tests for the ESCUDO policy invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acl import Acl
+from repro.core.context import SecurityContext
+from repro.core.decision import Operation, Rule
+from repro.core.origin import Origin
+from repro.core.policy import EscudoPolicy
+from repro.core.rings import Ring
+from repro.core.sop import SameOriginPolicy
+
+_POLICY = EscudoPolicy()
+_SOP = SameOriginPolicy()
+
+rings = st.integers(min_value=0, max_value=6).map(Ring)
+operations = st.sampled_from(list(Operation))
+origins = st.sampled_from(
+    [Origin.of("http", "a.example"), Origin.of("https", "a.example"), Origin.of("http", "b.example")]
+)
+
+
+@st.composite
+def contexts(draw):
+    return SecurityContext(
+        origin=draw(origins),
+        ring=draw(rings),
+        acl=Acl(read=draw(rings), write=draw(rings), use=draw(rings)),
+        label="prop",
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(principal=contexts(), target=contexts(), operation=operations)
+def test_allow_implies_all_three_rules(principal, target, operation):
+    """An allowed request has passed origin, ring and ACL rules simultaneously."""
+    decision = _POLICY.check(principal, target, operation)
+    if decision.allowed:
+        assert principal.origin == target.origin
+        assert principal.ring.level <= target.ring.level
+        assert principal.ring.level <= target.acl.limit_for(operation).level
+    else:
+        failed = decision.denying_rule
+        assert failed in {Rule.ORIGIN, Rule.RING, Rule.ACL}
+
+
+@settings(max_examples=200, deadline=None)
+@given(principal=contexts(), target=contexts(), operation=operations)
+def test_escudo_never_allows_what_sop_denies(principal, target, operation):
+    """ESCUDO only ever *adds* restrictions on top of the same-origin policy."""
+    escudo = _POLICY.check(principal, target, operation)
+    sop = _SOP.check(principal, target, operation)
+    if escudo.allowed:
+        assert sop.allowed
+
+
+@settings(max_examples=200, deadline=None)
+@given(principal=contexts(), target=contexts(), operation=operations)
+def test_decisions_are_deterministic(principal, target, operation):
+    """The policy is a pure function of the contexts and operation."""
+    first = _POLICY.check(principal, target, operation)
+    second = _POLICY.check(principal, target, operation)
+    assert first.verdict is second.verdict
+    assert first.denying_rule == second.denying_rule
+
+
+@settings(max_examples=200, deadline=None)
+@given(target=contexts(), operation=operations, origin=origins)
+def test_elevating_the_principal_never_loses_access(target, operation, origin):
+    """Monotonicity: a strictly more privileged principal keeps every permission."""
+    weaker = SecurityContext(origin=origin, ring=Ring(3), acl=Acl.uniform(3), label="weak")
+    stronger = weaker.with_ring(0)
+    weak_decision = _POLICY.check(weaker, target, operation)
+    strong_decision = _POLICY.check(stronger, target, operation)
+    if weak_decision.allowed:
+        assert strong_decision.allowed
+
+
+@settings(max_examples=150, deadline=None)
+@given(principal=contexts(), target=contexts())
+def test_acl_tightening_never_grants_access(principal, target):
+    """Replacing an object's ACL with a stricter one can only remove permissions."""
+    stricter = target.with_acl(target.acl.tightened(Acl.default()))
+    for operation in Operation:
+        before = _POLICY.check(principal, target, operation)
+        after = _POLICY.check(principal, stricter, operation)
+        if after.allowed:
+            assert before.allowed

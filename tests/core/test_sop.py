@@ -1,0 +1,57 @@
+"""Tests for the same-origin-policy baseline and the compatibility claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acl import Acl
+from repro.core.context import SecurityContext
+from repro.core.decision import Operation, Rule
+from repro.core.policy import EscudoPolicy
+from repro.core.rings import Ring
+from repro.core.sop import SameOriginPolicy, escudo_collapses_to_sop
+from tests.conftest import make_context
+
+
+@pytest.fixture
+def sop():
+    return SameOriginPolicy()
+
+
+class TestSameOriginPolicy:
+    def test_same_origin_always_allowed_regardless_of_rings(self, sop, origin):
+        decision = sop.check(make_context(origin, 3), make_context(origin, 0), Operation.WRITE)
+        assert decision.allowed
+
+    def test_cross_origin_denied(self, sop, origin, other_origin):
+        decision = sop.check(make_context(other_origin, 0), make_context(origin, 3), "read")
+        assert decision.denied
+        assert decision.denying_rule is Rule.ORIGIN
+
+    def test_only_the_origin_rule_is_evaluated(self, sop, origin):
+        decision = sop.check(make_context(origin, 3), make_context(origin, 0), Operation.USE)
+        assert [outcome.rule for outcome in decision.outcomes] == [Rule.ORIGIN]
+
+    def test_policy_name_recorded_in_decisions(self, sop, origin):
+        decision = sop.check(make_context(origin, 0), make_context(origin, 0), "read")
+        assert decision.policy == "same-origin"
+
+    def test_trusted_principal_bypasses_origin_rule(self, sop, origin, other_origin):
+        browser = SecurityContext(origin=other_origin, ring=Ring(0), label="browser", trusted=True)
+        assert sop.check(browser, make_context(origin, 0), Operation.USE).allowed
+
+
+class TestBackwardCompatibility:
+    """Legacy pages (single ring, uniform ACL) must behave identically under both models."""
+
+    @pytest.mark.parametrize("operation", list(Operation))
+    @pytest.mark.parametrize("cross_origin", [False, True])
+    def test_single_ring_collapse(self, origin, other_origin, operation, cross_origin):
+        principal_origin = other_origin if cross_origin else origin
+        legacy_principal = SecurityContext(origin=principal_origin, ring=Ring(0), acl=Acl.uniform(0))
+        legacy_object = SecurityContext(origin=origin, ring=Ring(0), acl=Acl.uniform(0))
+
+        escudo_decision = EscudoPolicy().check(legacy_principal, legacy_object, operation)
+        sop_decision = SameOriginPolicy().check(legacy_principal, legacy_object, operation)
+        assert escudo_collapses_to_sop(escudo_decision, sop_decision)
+        assert escudo_decision.verdict is sop_decision.verdict

@@ -1,0 +1,98 @@
+"""Tests for the Document root node."""
+
+from __future__ import annotations
+
+from repro.core.origin import Origin
+from repro.dom.document import Document
+from repro.html.parser import parse_document
+
+PAGE = (
+    "<!DOCTYPE html><html><head><title>Forum</title></head>"
+    "<body>"
+    '<div id="nav" class="chrome menu"><a href="/index">home</a></div>'
+    '<div id="posts" class="content"><p class="post">one</p><p class="post">two</p></div>'
+    "<script>var x = 1;</script>"
+    "</body></html>"
+)
+
+
+class TestIdentity:
+    def test_origin_derived_from_url(self):
+        document = Document("http://forum.example.com/viewtopic?t=1")
+        assert document.origin == Origin.parse("http://forum.example.com")
+
+    def test_about_blank_has_no_origin(self):
+        assert Document().origin is None
+
+    def test_document_is_its_own_owner(self):
+        document = Document()
+        assert document.owner_document is document
+
+
+class TestFactories:
+    def test_create_element_is_detached_and_owned(self):
+        document = Document()
+        element = document.create_element("div", {"id": "x"})
+        assert element.parent is None
+        assert element.owner_document is document
+        assert element.id == "x"
+
+    def test_create_text_and_comment_nodes(self):
+        document = Document()
+        text = document.create_text_node("hello")
+        comment = document.create_comment("note")
+        assert text.owner_document is document
+        assert comment.owner_document is document
+        assert text.data == "hello"
+        assert comment.data == "note"
+
+
+class TestWellKnownElements:
+    def test_document_element_head_body(self):
+        document = parse_document(PAGE, url="http://forum.example.com/")
+        assert document.doctype is not None
+        assert document.document_element.tag_name == "html"
+        assert document.head.tag_name == "head"
+        assert document.body.tag_name == "body"
+
+    def test_missing_head_and_body_return_none(self):
+        document = parse_document("<p>bare fragment</p>")
+        assert document.head is None
+        assert document.body is None
+
+    def test_empty_document_has_no_document_element(self):
+        assert Document().document_element is None
+
+
+class TestLookups:
+    def test_get_element_by_id(self):
+        document = parse_document(PAGE)
+        assert document.get_element_by_id("posts").get_attribute("class") == "content"
+        assert document.get_element_by_id("missing") is None
+
+    def test_get_elements_by_tag_name(self):
+        document = parse_document(PAGE)
+        assert len(document.get_elements_by_tag_name("p")) == 2
+        assert len(document.get_elements_by_tag_name("DIV")) == 2
+
+    def test_get_elements_by_class_name(self):
+        document = parse_document(PAGE)
+        assert len(document.get_elements_by_class_name("post")) == 2
+        assert len(document.get_elements_by_class_name("chrome")) == 1
+        assert document.get_elements_by_class_name("absent") == []
+
+    def test_scripts(self):
+        document = parse_document(PAGE)
+        scripts = document.scripts()
+        assert len(scripts) == 1
+        assert "var x" in scripts[0].text_content
+
+    def test_count_elements(self):
+        document = parse_document(PAGE)
+        # html, head, title, body, 2 divs, a, 2 p, script
+        assert document.count_elements() == 10
+
+    def test_elements_iterates_in_document_order(self):
+        document = parse_document(PAGE)
+        tags = [el.tag_name for el in document.elements()]
+        assert tags[:4] == ["html", "head", "title", "body"]

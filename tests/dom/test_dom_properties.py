@@ -1,0 +1,94 @@
+"""Property-based tests for the DOM substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import TextNode
+from repro.html.parser import parse_document
+from repro.html.serializer import serialize as serialize_document
+
+# Note: self-nesting tags (p, li, ...) are auto-closed by the parser's error
+# recovery, so arbitrary nestings of them do not round-trip by design; the
+# strategy sticks to tags whose nesting is preserved verbatim.
+tag_names = st.sampled_from(["div", "span", "section", "article", "em", "strong", "ul", "aside"])
+texts = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" "),
+                min_size=0, max_size=20)
+
+
+@st.composite
+def element_trees(draw, max_depth: int = 3):
+    """A random element subtree with text leaves."""
+    element = Element(draw(tag_names))
+    n_children = draw(st.integers(min_value=0, max_value=3)) if max_depth > 0 else 0
+    for _ in range(n_children):
+        if draw(st.booleans()) and max_depth > 0:
+            element.append_child(draw(element_trees(max_depth=max_depth - 1)))
+        else:
+            element.append_child(TextNode(draw(texts)))
+    return element
+
+
+class TestTreeInvariants:
+    @given(element_trees())
+    @settings(max_examples=80)
+    def test_every_descendant_points_back_to_its_parent(self, root: Element):
+        for node in root.descendants():
+            assert node.parent is not None
+            assert node in node.parent.children
+
+    @given(element_trees())
+    @settings(max_examples=80)
+    def test_descendant_count_matches_recursive_sum(self, root: Element):
+        def count(node):
+            return len(node.children) + sum(count(child) for child in node.children)
+
+        assert sum(1 for _ in root.descendants()) == count(root)
+
+    @given(element_trees())
+    @settings(max_examples=80)
+    def test_text_content_is_concatenation_of_leaves(self, root: Element):
+        leaves = [node.data for node in root.descendants() if isinstance(node, TextNode)]
+        assert root.text_content == "".join(leaves)
+
+    @given(element_trees(), element_trees())
+    @settings(max_examples=50)
+    def test_reparenting_moves_rather_than_copies(self, a: Element, b: Element):
+        document = Document()
+        document.append_child(a)
+        document.append_child(b)
+        b.append_child(a)
+        assert a.parent is b
+        assert a not in document.children
+        # The document still reaches a exactly once.
+        assert sum(1 for node in document.descendants() if node is a) == 1
+
+
+class TestSerializationRoundTrip:
+    @given(element_trees())
+    @settings(max_examples=80)
+    def test_serialize_then_parse_preserves_element_structure(self, root: Element):
+        document = Document()
+        document.append_child(root)
+        markup = serialize_document(document)
+        reparsed = parse_document(markup)
+
+        def shape(node):
+            return [
+                (child.tag_name, shape(child))
+                for child in node.children
+                if isinstance(child, Element)
+            ]
+
+        assert shape(reparsed) == shape(document)
+
+    @given(element_trees())
+    @settings(max_examples=80)
+    def test_serialize_then_parse_preserves_text_content(self, root: Element):
+        document = Document()
+        document.append_child(root)
+        reparsed = parse_document(serialize_document(document))
+        assert reparsed.text_content == document.text_content

@@ -1,0 +1,134 @@
+"""Tests for the DOM event value type and dispatcher."""
+
+from __future__ import annotations
+
+from repro.dom.element import Element
+from repro.dom.events import Event, EventDispatcher, nodes_with_inline_handlers
+from repro.html.parser import parse_document
+
+
+def chain() -> tuple[Element, Element, Element]:
+    """body > div#container > button#go."""
+    body = Element("body")
+    container = Element("div", {"id": "container"})
+    button = Element("button", {"id": "go"})
+    body.append_child(container)
+    container.append_child(button)
+    return body, container, button
+
+
+class TestEvent:
+    def test_defaults(self):
+        event = Event(event_type="click")
+        assert event.bubbles
+        assert not event.default_prevented
+        assert not event.propagation_stopped
+
+    def test_prevent_default_and_stop_propagation(self):
+        event = Event(event_type="submit")
+        event.prevent_default()
+        event.stop_propagation()
+        assert event.default_prevented
+        assert event.propagation_stopped
+
+    def test_handler_attribute_name(self):
+        assert Event(event_type="mouseover").handler_attribute == "onmouseover"
+
+
+class TestDispatcher:
+    def test_listeners_are_per_element_and_per_type(self):
+        _, container, button = chain()
+        dispatcher = EventDispatcher()
+        clicks, hovers = [], []
+        dispatcher.add_listener(button, "click", clicks.append)
+        dispatcher.add_listener(button, "mouseover", hovers.append)
+        assert len(dispatcher.listeners_for(button, "click")) == 1
+        assert dispatcher.listeners_for(container, "click") == []
+        event = Event(event_type="click", target=button)
+        dispatcher.dispatch(event)
+        assert len(clicks) == 1 and hovers == []
+
+    def test_remove_listener(self):
+        _, _, button = chain()
+        dispatcher = EventDispatcher()
+        calls = []
+        dispatcher.add_listener(button, "click", calls.append)
+        dispatcher.remove_listener(button, "click", calls.append)
+        dispatcher.remove_listener(button, "click", calls.append)  # silent when absent
+        dispatcher.dispatch(Event(event_type="click", target=button))
+        assert calls == []
+
+    def test_propagation_path_is_target_then_ancestors(self):
+        body, container, button = chain()
+        dispatcher = EventDispatcher()
+        assert dispatcher.propagation_path(button) == [button, container, body]
+
+    def test_event_bubbles_to_ancestor_listeners(self):
+        body, container, button = chain()
+        dispatcher = EventDispatcher()
+        received = []
+        dispatcher.add_listener(container, "click", lambda e: received.append("container"))
+        dispatcher.add_listener(body, "click", lambda e: received.append("body"))
+        delivered = dispatcher.dispatch(Event(event_type="click", target=button))
+        assert received == ["container", "body"]
+        assert delivered == [button, container, body]
+
+    def test_non_bubbling_event_only_reaches_target(self):
+        body, container, button = chain()
+        dispatcher = EventDispatcher()
+        received = []
+        dispatcher.add_listener(container, "focus", lambda e: received.append("container"))
+        delivered = dispatcher.dispatch(Event(event_type="focus", target=button, bubbles=False))
+        assert delivered == [button]
+        assert received == []
+
+    def test_stop_propagation_halts_bubbling(self):
+        body, container, button = chain()
+        dispatcher = EventDispatcher()
+        received = []
+        dispatcher.add_listener(button, "click", lambda e: (received.append("button"), e.stop_propagation()))
+        dispatcher.add_listener(body, "click", lambda e: received.append("body"))
+        dispatcher.dispatch(Event(event_type="click", target=button))
+        assert received == ["button"]
+
+    def test_deliverable_hook_filters_mediated_elements(self):
+        body, container, button = chain()
+        dispatcher = EventDispatcher()
+        received = []
+        dispatcher.add_listener(button, "click", lambda e: received.append("button"))
+        dispatcher.add_listener(body, "click", lambda e: received.append("body"))
+        delivered = dispatcher.dispatch(
+            Event(event_type="click", target=button),
+            deliverable=lambda element: element is not button,
+        )
+        assert "button" not in received
+        assert received == ["body"]
+        assert button not in delivered
+
+    def test_dispatch_without_target_is_a_no_op(self):
+        assert EventDispatcher().dispatch(Event(event_type="click")) == []
+
+    def test_clear_drops_all_listeners(self):
+        _, _, button = chain()
+        dispatcher = EventDispatcher()
+        calls = []
+        dispatcher.add_listener(button, "click", calls.append)
+        dispatcher.clear()
+        dispatcher.dispatch(Event(event_type="click", target=button))
+        assert calls == []
+
+
+class TestInlineHandlers:
+    def test_nodes_with_inline_handlers(self):
+        document = parse_document(
+            "<html><body>"
+            '<button id="a" onclick="go()">A</button>'
+            '<img src="/x.png" onmouseover="peek()" onload="track()">'
+            "<p>no handlers</p>"
+            "</body></html>"
+        )
+        found = nodes_with_inline_handlers(document)
+        by_tag = {element.tag_name: handlers for element, handlers in found}
+        assert set(by_tag) == {"button", "img"}
+        assert by_tag["button"] == {"onclick": "go()"}
+        assert set(by_tag["img"]) == {"onmouseover", "onload"}

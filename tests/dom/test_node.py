@@ -1,0 +1,145 @@
+"""Tests for the structural DOM node layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import CommentNode, NodeType, TextNode
+
+
+def small_tree() -> tuple[Document, Element, Element, Element]:
+    """``<html><body><p>hello</p></body></html>`` built by hand."""
+    document = Document("http://app.example.com/")
+    html = document.create_element("html")
+    body = document.create_element("body")
+    paragraph = document.create_element("p")
+    paragraph.append_child(document.create_text_node("hello"))
+    document.append_child(html)
+    html.append_child(body)
+    body.append_child(paragraph)
+    return document, html, body, paragraph
+
+
+class TestStructure:
+    def test_append_child_sets_parent_and_owner(self):
+        document, html, body, paragraph = small_tree()
+        assert paragraph.parent is body
+        assert body.parent is html
+        assert paragraph.owner_document is document
+
+    def test_append_child_detaches_from_previous_parent(self):
+        document, _, body, paragraph = small_tree()
+        other = document.create_element("div")
+        body.append_child(other)
+        other.append_child(paragraph)
+        assert paragraph.parent is other
+        assert paragraph not in body.children
+
+    def test_append_child_rejects_cycles(self):
+        _, html, body, _ = small_tree()
+        with pytest.raises(ValueError):
+            body.append_child(html)
+        with pytest.raises(ValueError):
+            body.append_child(body)
+
+    def test_insert_before(self):
+        document, _, body, paragraph = small_tree()
+        heading = document.create_element("h1")
+        body.insert_before(heading, paragraph)
+        assert body.children == [heading, paragraph]
+
+    def test_insert_before_none_appends(self):
+        document, _, body, paragraph = small_tree()
+        footer = document.create_element("footer")
+        body.insert_before(footer, None)
+        assert body.children == [paragraph, footer]
+
+    def test_insert_before_foreign_reference_raises(self):
+        document, _, body, _ = small_tree()
+        stranger = document.create_element("div")
+        with pytest.raises(ValueError):
+            body.insert_before(document.create_element("span"), stranger)
+
+    def test_remove_child(self):
+        _, _, body, paragraph = small_tree()
+        removed = body.remove_child(paragraph)
+        assert removed is paragraph
+        assert paragraph.parent is None
+        assert body.children == []
+
+    def test_remove_child_requires_parenthood(self):
+        document, _, body, _ = small_tree()
+        with pytest.raises(ValueError):
+            body.remove_child(document.create_element("div"))
+
+    def test_detach_is_idempotent(self):
+        _, _, body, paragraph = small_tree()
+        paragraph.detach()
+        paragraph.detach()
+        assert paragraph.parent is None
+        assert body.children == []
+
+    def test_replace_children(self):
+        document, _, body, _ = small_tree()
+        new_children = [document.create_element("ul"), document.create_text_node("tail")]
+        body.replace_children(new_children)
+        assert body.children == new_children
+        assert all(child.parent is body for child in new_children)
+
+
+class TestTraversal:
+    def test_descendants_depth_first_document_order(self):
+        document, html, body, paragraph = small_tree()
+        names = [type(node).__name__ if not isinstance(node, Element) else node.tag_name
+                 for node in document.descendants()]
+        assert names == ["html", "body", "p", "TextNode"]
+
+    def test_ancestors(self):
+        document, html, body, paragraph = small_tree()
+        assert list(paragraph.ancestors()) == [body, html, document]
+
+    def test_first_last_child(self):
+        document, _, body, paragraph = small_tree()
+        assert body.first_child is paragraph
+        assert body.last_child is paragraph
+        assert paragraph.first_child is paragraph.last_child
+        assert document.create_element("div").first_child is None
+
+    def test_siblings(self):
+        document, _, body, paragraph = small_tree()
+        aside = document.create_element("aside")
+        body.append_child(aside)
+        assert paragraph.next_sibling is aside
+        assert aside.previous_sibling is paragraph
+        assert paragraph.previous_sibling is None
+        assert aside.next_sibling is None
+
+    def test_siblings_of_detached_node_are_none(self):
+        node = TextNode("floating")
+        assert node.next_sibling is None
+        assert node.previous_sibling is None
+
+
+class TestContentAndTypes:
+    def test_text_content_concatenates_descendant_text(self):
+        document, _, body, paragraph = small_tree()
+        paragraph.append_child(document.create_text_node(" world"))
+        assert body.text_content == "hello world"
+
+    def test_comment_nodes_contribute_no_text(self):
+        document, _, body, _ = small_tree()
+        body.append_child(document.create_comment("secret note"))
+        assert "secret" not in body.text_content
+
+    def test_node_types(self):
+        document, _, _, paragraph = small_tree()
+        assert document.node_type is NodeType.DOCUMENT
+        assert paragraph.node_type is NodeType.ELEMENT
+        assert TextNode("x").node_type is NodeType.TEXT
+        assert CommentNode("x").node_type is NodeType.COMMENT
+
+    def test_text_node_text_content_is_its_data(self):
+        assert TextNode("abc").text_content == "abc"
+        assert CommentNode("abc").text_content == ""

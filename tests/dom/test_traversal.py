@@ -1,0 +1,126 @@
+"""Tests for tree traversal helpers and the small selector engine."""
+
+from __future__ import annotations
+
+from repro.core.acl import Acl
+from repro.core.context import SecurityContext
+from repro.core.origin import Origin
+from repro.core.rings import Ring
+from repro.dom.traversal import (
+    elements_in_rings,
+    find_all,
+    find_first,
+    parse_selector,
+    query_selector,
+    query_selector_all,
+    walk_elements,
+)
+from repro.html.parser import parse_document
+
+PAGE = (
+    "<html><body>"
+    '<div id="chrome" class="nav top"><a href="/home" class="link">home</a></div>'
+    '<div id="posts">'
+    '<div class="post" data-author="admin"><span class="author">admin</span><p>first</p></div>'
+    '<div class="post highlighted" data-author="alice"><span class="author">alice</span><p>second</p></div>'
+    "</div>"
+    "</body></html>"
+)
+
+
+def document():
+    return parse_document(PAGE)
+
+
+class TestWalkAndFind:
+    def test_walk_elements_excludes_root_and_text(self):
+        doc = document()
+        tags = [el.tag_name for el in walk_elements(doc)]
+        assert tags[0] == "html"
+        assert "span" in tags and "p" in tags
+
+    def test_find_all_and_first(self):
+        doc = document()
+        posts = find_all(doc, lambda el: "post" in el.class_list)
+        assert len(posts) == 2
+        first = find_first(doc, lambda el: el.get_attribute("data-author") == "alice")
+        assert first is not None and "highlighted" in first.class_list
+        assert find_first(doc, lambda el: el.tag_name == "video") is None
+
+
+class TestSelectorParsing:
+    def test_parse_compound_selector(self):
+        selector = parse_selector("div.post.highlighted#main[data-author=alice]")
+        step = selector.steps[0]
+        assert step.tag == "div"
+        assert step.element_id == "main"
+        assert step.classes == ("post", "highlighted")
+        assert step.attributes == (("data-author", "alice"),)
+
+    def test_parse_descendant_chain(self):
+        selector = parse_selector("div.post span.author")
+        assert len(selector.steps) == 2
+        assert selector.steps[0].classes == ("post",)
+        assert selector.steps[1].tag == "span"
+
+    def test_attribute_presence_only(self):
+        selector = parse_selector("[data-author]")
+        assert selector.steps[0].attributes == (("data-author", None),)
+
+    def test_empty_selector_matches_nothing(self):
+        doc = document()
+        assert query_selector_all(doc, "   ") == []
+
+
+class TestQuerying:
+    def test_by_tag(self):
+        assert len(query_selector_all(document(), "p")) == 2
+
+    def test_by_id(self):
+        found = query_selector(document(), "#posts")
+        assert found is not None and found.id == "posts"
+
+    def test_by_class(self):
+        assert len(query_selector_all(document(), ".post")) == 2
+        assert len(query_selector_all(document(), ".highlighted")) == 1
+
+    def test_universal_selector(self):
+        assert len(query_selector_all(document(), "*")) == len(list(walk_elements(document())))
+
+    def test_attribute_equality(self):
+        found = query_selector(document(), "div[data-author=admin]")
+        assert found is not None
+        assert found.get_attribute("data-author") == "admin"
+
+    def test_descendant_combinator(self):
+        authors = query_selector_all(document(), "#posts .author")
+        assert [el.text_content for el in authors] == ["admin", "alice"]
+        assert query_selector_all(document(), "#chrome .author") == []
+
+    def test_descendant_combinator_requires_full_chain(self):
+        assert query_selector(document(), ".nav .post") is None
+
+    def test_query_selector_returns_first_in_document_order(self):
+        first = query_selector(document(), ".post")
+        assert first.get_attribute("data-author") == "admin"
+
+    def test_no_match_returns_none(self):
+        assert query_selector(document(), "video.player") is None
+
+
+class TestRingPartitioning:
+    def test_elements_in_rings_filters_by_assigned_context(self):
+        doc = document()
+        origin = Origin.parse("http://app.example.com")
+        chrome = doc.get_element_by_id("chrome")
+        chrome.assign_security_context(
+            SecurityContext(origin=origin, ring=Ring(1), acl=Acl.uniform(1), label="chrome")
+        )
+        for post in query_selector_all(doc, ".post"):
+            post.assign_security_context(
+                SecurityContext(origin=origin, ring=Ring(3), acl=Acl.uniform(2), label="post")
+            )
+        assert elements_in_rings(doc, [1]) == [chrome]
+        assert len(elements_in_rings(doc, [3])) == 2
+        assert len(elements_in_rings(doc, [0, 1, 2, 3])) == 3
+        assert elements_in_rings(doc, [2]) == []

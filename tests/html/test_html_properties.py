@@ -1,0 +1,71 @@
+"""Property-based tests for the HTML substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.entities import decode_entities, escape_attribute, escape_text
+from repro.html.parser import parse_document
+from repro.html.serializer import serialize
+
+#: Text without markup-significant characters, for building random documents.
+plain_text = st.text(
+    alphabet=st.characters(blacklist_characters="<>&\0", blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=40,
+)
+
+tag_names = st.sampled_from(["div", "p", "span", "b", "i", "section", "li"])
+attr_names = st.sampled_from(["class", "id", "title", "data-x", "ring", "r", "w", "x"])
+attr_values = st.text(
+    alphabet=st.characters(blacklist_characters='<>&"\0', blacklist_categories=("Cs",)),
+    max_size=20,
+)
+
+
+@st.composite
+def random_markup(draw, depth=2):
+    """Generate well-formed HTML fragments."""
+    if depth == 0:
+        return escape_text(draw(plain_text))
+    pieces = []
+    for _ in range(draw(st.integers(0, 3))):
+        tag = draw(tag_names)
+        attributes = draw(st.dictionaries(attr_names, attr_values, max_size=2))
+        attr_text = "".join(f' {name}="{escape_attribute(value)}"' for name, value in attributes.items())
+        inner = draw(random_markup(depth=depth - 1))
+        pieces.append(f"<{tag}{attr_text}>{inner}</{tag}>")
+    pieces.append(escape_text(draw(plain_text)))
+    return "".join(pieces)
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=plain_text)
+def test_escape_then_decode_is_identity(text):
+    assert decode_entities(escape_text(text)) == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(markup=random_markup())
+def test_parse_never_crashes_and_serialization_is_stable(markup):
+    document = parse_document(f"<html><body>{markup}</body></html>")
+    first = serialize(document)
+    second = serialize(parse_document(first))
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(markup=random_markup())
+def test_text_content_preserved_through_round_trip(markup):
+    document = parse_document(f"<html><body>{markup}</body></html>")
+    round_tripped = parse_document(serialize(document))
+    assert document.body.text_content == round_tripped.body.text_content
+
+
+@settings(max_examples=40, deadline=None)
+@given(junk=st.text(max_size=80))
+def test_parser_is_total_on_arbitrary_input(junk):
+    """The tree builder is lenient: arbitrary text never raises."""
+    document = parse_document(junk)
+    assert document is not None

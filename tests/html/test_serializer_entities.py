@@ -1,0 +1,81 @@
+"""Tests for HTML serialisation and entity handling."""
+
+from __future__ import annotations
+
+from repro.dom.document import Document
+from repro.html.entities import decode_entities, escape_attribute, escape_text
+from repro.html.parser import parse_document
+from repro.html.serializer import serialize, serialize_children
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("<script>&") == "&lt;script&gt;&amp;"
+
+    def test_escape_text_leaves_plain_text(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+    def test_decode_entities_named_and_numeric(self):
+        assert decode_entities("&lt;b&gt; &amp; &#65;&#x61;") == "<b> & Aa"
+
+    def test_decode_unknown_left_verbatim(self):
+        assert decode_entities("&nosuch; & plain") == "&nosuch; & plain"
+
+    def test_decode_is_inverse_of_escape_for_text(self):
+        original = 'user <input> & "quotes"'
+        assert decode_entities(escape_text(original)) == original
+
+
+class TestSerialization:
+    def test_round_trip_simple_document(self):
+        markup = '<html><head><title>T</title></head><body><p class="x">hi</p></body></html>'
+        doc = parse_document(markup)
+        assert serialize(doc) == markup
+
+    def test_doctype_round_trip(self):
+        doc = parse_document("<!DOCTYPE html><html><body></body></html>")
+        assert serialize(doc).startswith("<!DOCTYPE html>")
+
+    def test_text_is_escaped_on_output(self):
+        doc = Document()
+        p = doc.create_element("p")
+        p.append_child(doc.create_text_node("a < b & c"))
+        doc.append_child(doc.create_element("html")).append_child(p)
+        assert "a &lt; b &amp; c" in serialize(doc)
+
+    def test_script_content_not_escaped(self):
+        markup = "<script>if (a < b) { x(); }</script>"
+        doc = parse_document(markup)
+        assert "a < b" in serialize(doc)
+
+    def test_void_elements_have_no_end_tag(self):
+        doc = parse_document('<body><img src="x.png"></body>')
+        out = serialize(doc)
+        assert "<img" in out and "</img>" not in out
+
+    def test_attribute_values_escaped(self):
+        doc = parse_document("<div title='a \"b\"'></div>")
+        assert '&quot;b&quot;' in serialize(doc)
+
+    def test_comments_round_trip(self):
+        doc = parse_document("<div><!--note--></div>")
+        assert "<!--note-->" in serialize(doc)
+
+    def test_serialize_children_is_inner_html(self):
+        doc = parse_document("<div id='outer'><b>x</b>tail</div>")
+        outer = doc.get_element_by_id("outer")
+        assert serialize_children(outer) == "<b>x</b>tail"
+
+    def test_indented_output_is_multiline(self):
+        doc = parse_document("<div><p>one</p><p>two</p></div>")
+        pretty = serialize(doc, indent=True)
+        assert pretty.count("\n") >= 4
+
+    def test_double_round_trip_is_stable(self):
+        markup = '<div ring="2" r="1" w="0" x="2" nonce="n"><p>body &amp; soul</p></div>'
+        once = serialize(parse_document(markup))
+        twice = serialize(parse_document(once))
+        assert once == twice

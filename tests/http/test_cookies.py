@@ -1,0 +1,165 @@
+"""Tests for cookies, Set-Cookie parsing and the cookie jar."""
+
+from __future__ import annotations
+
+from repro.core.acl import Acl
+from repro.core.config import PageConfiguration, ResourcePolicy
+from repro.core.origin import Origin
+from repro.core.rings import Ring
+from repro.http.cookies import Cookie, CookieJar, format_cookie_header, parse_set_cookie
+
+FORUM = Origin.parse("http://forum.example.com")
+OTHER = Origin.parse("http://other.example.net")
+SECURE = Origin.parse("https://bank.example.com")
+
+
+class TestCookieValue:
+    def test_defaults_to_ring_zero_fail_safe(self):
+        cookie = Cookie(name="sid", value="abc", origin=FORUM)
+        assert cookie.ring == Ring(0)
+        assert cookie.acl == Acl.uniform(0)
+
+    def test_security_context_carries_origin_ring_and_acl(self):
+        cookie = Cookie(name="sid", value="abc", origin=FORUM, ring=Ring(1), acl=Acl.uniform(1))
+        context = cookie.security_context
+        assert context.origin == FORUM
+        assert context.ring == Ring(1)
+        assert context.acl == Acl.uniform(1)
+        assert "sid" in context.label
+
+    def test_with_policy_relabels_without_changing_value(self):
+        cookie = Cookie(name="sid", value="abc", origin=FORUM)
+        relabelled = cookie.with_policy(ResourcePolicy.uniform(2))
+        assert relabelled.value == "abc"
+        assert relabelled.ring == Ring(2)
+        assert cookie.ring == Ring(0), "original cookie is immutable"
+
+    def test_with_value_keeps_labels(self):
+        cookie = Cookie(name="sid", value="abc", origin=FORUM, ring=Ring(1))
+        updated = cookie.with_value("def")
+        assert updated.value == "def"
+        assert updated.ring == Ring(1)
+
+    def test_header_pair(self):
+        assert Cookie(name="sid", value="abc", origin=FORUM).header_pair() == "sid=abc"
+
+    def test_path_matching(self):
+        cookie = Cookie(name="sid", value="x", origin=FORUM, path="/forum")
+        assert cookie.matches_path("/forum")
+        assert cookie.matches_path("/forum/viewtopic")
+        assert not cookie.matches_path("/forums")
+        assert not cookie.matches_path("/admin")
+
+    def test_root_path_matches_everything(self):
+        cookie = Cookie(name="sid", value="x", origin=FORUM)
+        assert cookie.matches_path("/anything/at/all")
+
+
+class TestSetCookieParsing:
+    def test_parse_name_value(self):
+        cookie = parse_set_cookie("phpbb2mysql_sid=deadbeef", FORUM)
+        assert cookie.name == "phpbb2mysql_sid"
+        assert cookie.value == "deadbeef"
+        assert cookie.origin == FORUM
+
+    def test_parse_attributes(self):
+        cookie = parse_set_cookie("sid=1; Path=/app; Secure; HttpOnly", FORUM)
+        assert cookie.path == "/app"
+        assert cookie.secure is True
+        assert cookie.http_only is True
+
+    def test_parse_is_lenient_about_whitespace_and_case(self):
+        cookie = parse_set_cookie("  sid = 1 ;  path=/x ; SECURE ", FORUM)
+        assert cookie.name == "sid"
+        assert cookie.value == "1"
+        assert cookie.path == "/x"
+        assert cookie.secure is True
+
+    def test_parsed_cookie_defaults_to_ring_zero(self):
+        cookie = parse_set_cookie("sid=1", FORUM)
+        assert cookie.ring == Ring(0)
+
+    def test_format_cookie_header(self):
+        cookies = [Cookie(name="a", value="1", origin=FORUM), Cookie(name="b", value="2", origin=FORUM)]
+        assert format_cookie_header(cookies) == "a=1; b=2"
+
+
+class TestCookieJar:
+    def test_set_and_get(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", value="abc", origin=FORUM))
+        assert jar.get(FORUM, "sid").value == "abc"
+        assert jar.get(OTHER, "sid") is None
+
+    def test_set_overwrites_same_origin_and_name(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", value="old", origin=FORUM))
+        jar.set(Cookie(name="sid", value="new", origin=FORUM))
+        assert len(jar) == 1
+        assert jar.get(FORUM, "sid").value == "new"
+
+    def test_cookies_are_partitioned_by_origin(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="sid", value="forum", origin=FORUM))
+        jar.set(Cookie(name="sid", value="other", origin=OTHER))
+        assert [c.value for c in jar.cookies_for(FORUM)] == ["forum"]
+        assert [c.value for c in jar.cookies_for(OTHER)] == ["other"]
+
+    def test_cookies_for_respects_path(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="admin", value="1", origin=FORUM, path="/admin"))
+        jar.set(Cookie(name="sid", value="2", origin=FORUM))
+        assert [c.name for c in jar.cookies_for(FORUM, "/viewtopic")] == ["sid"]
+        assert [c.name for c in jar.cookies_for(FORUM, "/admin/panel")] == ["admin", "sid"]
+
+    def test_secure_cookie_not_sent_over_plain_http(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="token", value="s3cret", origin=SECURE, secure=True))
+        assert jar.cookies_for(SECURE) != []
+        assert jar.cookies_for(SECURE, secure_channel=False) == []
+
+    def test_delete_and_clear(self):
+        jar = CookieJar()
+        jar.set(Cookie(name="a", value="1", origin=FORUM))
+        jar.set(Cookie(name="b", value="2", origin=FORUM))
+        jar.delete(FORUM, "a")
+        assert jar.get(FORUM, "a") is None
+        jar.clear()
+        assert len(jar) == 0
+
+    def test_contains_and_iter(self):
+        jar = CookieJar()
+        cookie = Cookie(name="a", value="1", origin=FORUM)
+        jar.set(cookie)
+        assert (FORUM, "a") in jar
+        assert list(jar) == [cookie]
+
+
+class TestStoreFromResponse:
+    def test_store_without_configuration_keeps_ring_zero_default(self):
+        jar = CookieJar()
+        stored = jar.store_from_response(FORUM, ["sid=abc; Path=/"])
+        assert stored[0].ring == Ring(0)
+
+    def test_store_with_escudo_policy_labels_cookie(self):
+        configuration = PageConfiguration()
+        configuration.cookie_policies["sid"] = ResourcePolicy(ring=Ring(1), acl=Acl.uniform(1))
+        jar = CookieJar()
+        stored = jar.store_from_response(FORUM, ["sid=abc", "theme=dark"], configuration)
+        by_name = {c.name: c for c in stored}
+        assert by_name["sid"].ring == Ring(1)
+        # Unconfigured cookies keep the paper's ring-0 fail-safe default.
+        assert by_name["theme"].ring == Ring(0)
+
+    def test_store_ignores_policy_when_escudo_disabled(self):
+        configuration = PageConfiguration.legacy()
+        configuration.cookie_policies["sid"] = ResourcePolicy.uniform(2)
+        jar = CookieJar()
+        stored = jar.store_from_response(FORUM, ["sid=abc"], configuration)
+        assert stored[0].ring == Ring(0)
+
+    def test_store_multiple_responses_accumulate(self):
+        jar = CookieJar()
+        jar.store_from_response(FORUM, ["a=1"])
+        jar.store_from_response(FORUM, ["b=2"])
+        assert {c.name for c in jar.cookies_for(FORUM)} == {"a", "b"}

@@ -1,0 +1,130 @@
+"""Property-based tests for the HTTP substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.origin import Origin
+from repro.http.cookies import Cookie, CookieJar, format_cookie_header, parse_set_cookie
+from repro.http.headers import Headers
+from repro.http.url import Url, encode_query
+
+# -- strategies -----------------------------------------------------------------------
+
+hostnames = st.from_regex(r"[a-z][a-z0-9]{0,10}(\.[a-z][a-z0-9]{0,10}){1,2}", fullmatch=True)
+schemes = st.sampled_from(["http", "https"])
+ports = st.integers(min_value=1, max_value=65535)
+path_segments = st.from_regex(r"[A-Za-z0-9_.-]{1,12}", fullmatch=True)
+paths = st.lists(path_segments, min_size=0, max_size=4).map(lambda segments: "/" + "/".join(segments))
+query_keys = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+query_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=20,
+)
+cookie_names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,15}", fullmatch=True)
+cookie_values = st.from_regex(r"[A-Za-z0-9]{0,24}", fullmatch=True)
+
+
+@st.composite
+def urls(draw) -> Url:
+    return Url(
+        scheme=draw(schemes),
+        host=draw(hostnames),
+        port=draw(ports),
+        path=draw(paths),
+        query=encode_query(draw(st.dictionaries(query_keys, query_values, max_size=3))),
+    )
+
+
+# -- URL properties ---------------------------------------------------------------------
+
+
+class TestUrlProperties:
+    @given(urls())
+    @settings(max_examples=150)
+    def test_parse_str_round_trip(self, url: Url):
+        """``Url.parse(str(url))`` reproduces every component."""
+        reparsed = Url.parse(str(url))
+        assert reparsed.scheme == url.scheme
+        assert reparsed.host == url.host
+        assert reparsed.port == url.port
+        assert reparsed.path == url.path
+        assert reparsed.params == url.params
+
+    @given(st.dictionaries(query_keys, query_values, max_size=5))
+    @settings(max_examples=150)
+    def test_query_encoding_round_trip(self, params: dict[str, str]):
+        """Arbitrary parameter values survive encode → parse."""
+        url = Url(scheme="http", host="example.com", port=80, query=encode_query(params))
+        assert url.params == params
+
+    @given(urls(), paths)
+    def test_resolving_absolute_path_stays_on_same_origin(self, base: Url, path: str):
+        resolved = base.resolve(path or "/")
+        assert resolved.origin == base.origin
+        assert resolved.path.startswith("/")
+
+    @given(urls())
+    def test_origin_is_scheme_host_port(self, url: Url):
+        origin = url.origin
+        assert (origin.scheme, origin.host, origin.port) == (url.scheme, url.host, url.port)
+
+    @given(urls(), urls())
+    def test_resolving_an_absolute_url_ignores_the_base(self, base: Url, target: Url):
+        assert base.resolve(str(target)).origin == target.origin
+
+
+# -- header properties ---------------------------------------------------------------------
+
+
+class TestHeaderProperties:
+    @given(st.lists(st.tuples(query_keys, query_values), max_size=8))
+    def test_get_returns_first_added_value(self, pairs):
+        headers = Headers(pairs)
+        seen: dict[str, str] = {}
+        for name, value in pairs:
+            seen.setdefault(name.lower(), value)
+        for name, first_value in seen.items():
+            assert headers.get(name.upper()) == first_value
+
+    @given(st.lists(st.tuples(query_keys, query_values), max_size=8), query_keys, query_values)
+    def test_set_makes_value_unique(self, pairs, name, value):
+        headers = Headers(pairs)
+        headers.set(name, value)
+        assert headers.get_all(name) == [value]
+
+
+# -- cookie properties ----------------------------------------------------------------------
+
+
+class TestCookieProperties:
+    @given(cookie_names, cookie_values)
+    @settings(max_examples=100)
+    def test_set_cookie_round_trip(self, name, value):
+        origin = Origin.parse("http://app.example.com")
+        cookie = parse_set_cookie(f"{name}={value}; Path=/", origin)
+        assert cookie.name == name
+        assert cookie.value == value
+        assert format_cookie_header([cookie]) == f"{name}={value}"
+
+    @given(st.lists(st.tuples(cookie_names, cookie_values), min_size=1, max_size=10))
+    def test_jar_returns_only_cookies_for_the_requested_origin(self, pairs):
+        forum = Origin.parse("http://forum.example.com")
+        other = Origin.parse("http://other.example.net")
+        jar = CookieJar()
+        for name, value in pairs:
+            jar.set(Cookie(name=name, value=value, origin=forum))
+        assert jar.cookies_for(other) == []
+        expected_names = sorted({name for name, _ in pairs})
+        assert [c.name for c in jar.cookies_for(forum)] == expected_names
+
+    @given(st.lists(st.tuples(cookie_names, cookie_values), min_size=1, max_size=10))
+    def test_jar_last_write_wins_per_name(self, pairs):
+        forum = Origin.parse("http://forum.example.com")
+        jar = CookieJar()
+        for name, value in pairs:
+            jar.set(Cookie(name=name, value=value, origin=forum))
+        last_values = dict(pairs)
+        for cookie in jar.cookies_for(forum):
+            assert cookie.value == last_values[cookie.name]

@@ -1,0 +1,115 @@
+"""Tests for the in-process network fabric and its request log."""
+
+from __future__ import annotations
+
+from repro.core.origin import Origin
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.network import Network, build_network
+
+APP = "http://app.example.com"
+EVIL = "http://evil.example.net"
+
+
+class EchoServer:
+    """Test server that records requests and echoes the path."""
+
+    def __init__(self) -> None:
+        self.seen: list[HttpRequest] = []
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        self.seen.append(request)
+        return HttpResponse.text(f"echo:{request.url.path}")
+
+
+class TestRouting:
+    def test_dispatch_routes_by_origin(self):
+        app, evil = EchoServer(), EchoServer()
+        network = build_network([(APP, app), (EVIL, evil)])
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/index"))
+        network.dispatch(HttpRequest(method="GET", url=f"{EVIL}/lure"))
+        assert [r.url.path for r in app.seen] == ["/index"]
+        assert [r.url.path for r in evil.seen] == ["/lure"]
+
+    def test_dispatch_to_unknown_origin_returns_502(self):
+        network = Network()
+        response = network.dispatch(HttpRequest(method="GET", url="http://nowhere.example.org/"))
+        assert response.status == 502
+
+    def test_register_accepts_origin_objects_and_strings(self):
+        network = Network()
+        server = EchoServer()
+        network.register(Origin.parse(APP), server)
+        assert network.server_for(Origin.parse(APP)) is server
+        assert Origin.parse(APP) in network.origins
+
+    def test_unregister(self):
+        network = build_network([(APP, EchoServer())])
+        network.unregister(APP)
+        assert network.server_for(Origin.parse(APP)) is None
+        assert network.dispatch(HttpRequest(method="GET", url=f"{APP}/")).status == 502
+
+    def test_register_same_origin_replaces_server(self):
+        first, second = EchoServer(), EchoServer()
+        network = Network()
+        network.register(APP, first)
+        network.register(APP, second)
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/"))
+        assert first.seen == []
+        assert len(second.seen) == 1
+
+
+class TestRequestLog:
+    def _network(self) -> Network:
+        return build_network([(APP, EchoServer()), (EVIL, EchoServer())])
+
+    def test_every_dispatch_is_logged_in_order(self):
+        network = self._network()
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/a"))
+        network.dispatch(HttpRequest(method="POST", url=f"{APP}/b"))
+        log = network.request_log
+        assert [record.url.path for record in log] == ["/a", "/b"]
+        assert [record.sequence for record in log] == [1, 2]
+        assert log[0].response.ok
+
+    def test_requests_to_filters_by_origin(self):
+        network = self._network()
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/a"))
+        network.dispatch(HttpRequest(method="GET", url=f"{EVIL}/lure"))
+        assert [r.url.path for r in network.requests_to(APP)] == ["/a"]
+        assert [r.url.path for r in network.requests_to(Origin.parse(EVIL))] == ["/lure"]
+
+    def test_requests_matching_filters(self):
+        network = self._network()
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/api/unread", initiator="script:xhr"))
+        network.dispatch(HttpRequest(method="POST", url=f"{APP}/posting", initiator="form#reply-form"))
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/index", initiator="user"))
+        assert len(network.requests_matching(path_prefix="/api")) == 1
+        assert len(network.requests_matching(method="post")) == 1
+        assert len(network.requests_matching(initiator_contains="form")) == 1
+        assert len(network.requests_matching(path_prefix="/api", initiator_contains="user")) == 0
+
+    def test_cookies_sent_reflects_attached_cookie_header(self):
+        network = self._network()
+        request = HttpRequest(method="GET", url=f"{APP}/profile")
+        request.attach_cookie_header("sid=abc")
+        network.dispatch(request)
+        record = network.requests_to(APP)[0]
+        assert record.cookies_sent == {"sid": "abc"}
+        assert record.initiator == "user"
+
+    def test_clear_log_resets_sequence(self):
+        network = self._network()
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/a"))
+        network.clear_log()
+        assert network.request_log == []
+        network.dispatch(HttpRequest(method="GET", url=f"{APP}/b"))
+        assert network.request_log[0].sequence == 1
+
+    def test_traffic_summary_counts_per_origin(self):
+        network = self._network()
+        for _ in range(3):
+            network.dispatch(HttpRequest(method="GET", url=f"{APP}/a"))
+        network.dispatch(HttpRequest(method="GET", url=f"{EVIL}/lure"))
+        summary = network.traffic_summary()
+        assert summary[APP] == 3
+        assert summary[EVIL] == 1

@@ -1,0 +1,262 @@
+"""Tests for the MiniScript interpreter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.scripting.errors import BudgetExceeded, RuntimeScriptError
+from repro.scripting.interpreter import (
+    HostObject,
+    Interpreter,
+    NativeConstructor,
+    NativeFunction,
+)
+
+
+def run(source: str, globals_map: dict | None = None, **kwargs):
+    interpreter = Interpreter(globals_map, **kwargs)
+    return interpreter.run(source)
+
+
+def value_of(source: str, globals_map: dict | None = None):
+    result = run(source, globals_map)
+    assert not result.failed, f"script failed: {result.error}"
+    return result.value
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert value_of("1 + 2 * 3;") == 7
+        assert value_of("(1 + 2) * 3;") == 9
+        assert value_of("10 % 3;") == 1
+        assert value_of("7 / 2;") == 3.5
+
+    def test_string_concatenation_coerces(self):
+        assert value_of("'ring ' + 3;") == "ring 3"
+        assert value_of("1 + '2';") == "12"
+
+    def test_comparisons(self):
+        assert value_of("1 < 2;") is True
+        assert value_of("'a' < 'b';") is True
+        assert value_of("3 >= 3;") is True
+        assert value_of("2 == '2';") is True
+        assert value_of("2 != 3;") is True
+
+    def test_logical_operators_short_circuit(self):
+        assert value_of("var x = 0; true || (x = 1); x;") == 0
+        assert value_of("var x = 0; false && (x = 1); x;") == 0
+        assert value_of("null || 'fallback';") == "fallback"
+
+    def test_ternary(self):
+        assert value_of("1 < 2 ? 'yes' : 'no';") == "yes"
+
+    def test_unary(self):
+        assert value_of("!false;") is True
+        assert value_of("-(3);") == -3
+        assert value_of("typeof 'x';") == "string"
+        assert value_of("typeof 3;") == "number"
+        assert value_of("typeof missing;") == "undefined"
+
+    def test_division_by_zero_yields_infinity(self):
+        assert value_of("1 / 0;") == math.inf
+        assert value_of("-1 / 0;") == -math.inf
+
+
+class TestVariablesAndControlFlow:
+    def test_var_and_assignment(self):
+        assert value_of("var x = 1; x = x + 2; x;") == 3
+
+    def test_compound_assignment(self):
+        assert value_of("var x = 10; x += 5; x -= 3; x;") == 12
+
+    def test_if_else(self):
+        assert value_of("var x = 5; var label; if (x > 3) { label = 'big'; } else { label = 'small'; } label;") == "big"
+
+    def test_while_loop(self):
+        assert value_of("var total = 0; var i = 0; while (i < 5) { total += i; i += 1; } total;") == 10
+
+    def test_for_loop_with_break_and_continue(self):
+        source = (
+            "var total = 0;"
+            "for (var i = 0; i < 10; i += 1) {"
+            "  if (i == 3) { continue; }"
+            "  if (i == 6) { break; }"
+            "  total += i;"
+            "}"
+            "total;"
+        )
+        assert value_of(source) == 0 + 1 + 2 + 4 + 5
+
+    def test_block_scoping_shadows_outer_variable(self):
+        assert value_of("var x = 1; { var x = 2; } x;") == 1
+
+    def test_undeclared_assignment_creates_global(self):
+        assert value_of("function set() { flag = 42; } set(); flag;") == 42
+
+
+class TestFunctions:
+    def test_declaration_and_call(self):
+        assert value_of("function add(a, b) { return a + b; } add(2, 3);") == 5
+
+    def test_missing_arguments_default_to_null(self):
+        assert value_of("function probe(a, b) { return b == null; } probe(1);") is True
+
+    def test_closures_capture_environment(self):
+        source = (
+            "function counter() {"
+            "  var count = 0;"
+            "  return function () { count += 1; return count; };"
+            "}"
+            "var next = counter();"
+            "next(); next();"
+        )
+        assert value_of(source) == 2
+
+    def test_recursion(self):
+        assert value_of("function fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } fact(6);") == 720
+
+    def test_arguments_binding(self):
+        assert value_of("function count() { return arguments.length; } count(1, 2, 3);") == 3
+
+    def test_function_expression_assigned_to_variable(self):
+        assert value_of("var double = function (x) { return x * 2; }; double(8);") == 16
+
+    def test_call_function_from_host(self):
+        interpreter = Interpreter()
+        result = interpreter.run("function handler(event) { return event + '!'; }")
+        assert not result.failed
+        handler = interpreter.globals.lookup("handler")
+        assert interpreter.call_function(handler, ["click"]) == "click!"
+
+
+class TestArraysObjectsAndBuiltins:
+    def test_array_literals_and_indexing(self):
+        assert value_of("var a = [10, 20, 30]; a[1];") == 20
+        assert value_of("var a = [1]; a[5] = 9; a.length;") == 6
+
+    def test_array_methods(self):
+        assert value_of("var a = [1, 2]; a.push(3); a.length;") == 3
+        assert value_of("[1, 2, 3].join('-');") == "1-2-3"
+        assert value_of("[1, 2, 3].indexOf(2);") == 1
+        assert value_of("[1, 2, 3].indexOf(9);") == -1
+        assert value_of("[1, 2, 3, 4].slice(1, 3).length;") == 2
+
+    def test_object_literals_and_member_assignment(self):
+        assert value_of("var o = {a: 1}; o.b = 2; o.a + o.b;") == 3
+        assert value_of("var o = {x: 'y'}; o['x'];") == "y"
+        assert value_of("var o = {}; o.missing;") is None
+
+    def test_string_methods(self):
+        assert value_of("'Escudo'.toUpperCase();") == "ESCUDO"
+        assert value_of("'Escudo'.length;") == 6
+        assert value_of("'a,b,c'.split(',').length;") == 3
+        assert value_of("'  pad  '.trim();") == "pad"
+        assert value_of("'ring 3'.indexOf('3');") == 5
+        assert value_of("'abcdef'.substring(1, 3);") == "bc"
+        assert value_of("'x-y'.replace('-', '+');") == "x+y"
+
+    def test_standard_library_globals(self):
+        assert value_of("parseInt('42');") == 42
+        assert value_of("parseFloat('2.5');") == 2.5
+        assert value_of("isNaN('not a number');") is True
+        assert value_of("Math.max(1, 9, 4);") == 9
+        assert value_of("Math.floor(3.9);") == 3
+        assert value_of("JSON.parse(JSON.stringify({a: 1})).a;") == 1
+
+
+class TestHostInterop:
+    class Counter(HostObject):
+        host_name = "Counter"
+
+        def __init__(self) -> None:
+            self.count = 0.0
+            self.last_set = None
+
+        def js_get(self, name: str):
+            if name == "count":
+                return self.count
+            if name == "increment":
+                return NativeFunction(self._increment, "increment")
+            raise RuntimeScriptError(f"Counter has no property {name!r}")
+
+        def js_set(self, name: str, value) -> None:
+            if name == "count":
+                self.count = value
+                self.last_set = value
+                return
+            raise RuntimeScriptError("read-only")
+
+        def _increment(self, by=1.0):
+            self.count += by
+            return self.count
+
+    def test_host_property_read_and_write(self):
+        counter = self.Counter()
+        assert value_of("counter.count = 5; counter.count;", {"counter": counter}) == 5
+        assert counter.last_set == 5
+
+    def test_host_method_call(self):
+        counter = self.Counter()
+        assert value_of("counter.increment(); counter.increment(3);", {"counter": counter}) == 4
+
+    def test_host_write_to_read_only_property_raises_script_error(self):
+        result = run("counter.other = 1;", {"counter": self.Counter()})
+        assert result.failed
+        assert isinstance(result.error, RuntimeScriptError)
+
+    def test_native_constructor_via_new(self):
+        created = []
+
+        def factory():
+            counter = self.Counter()
+            created.append(counter)
+            return counter
+
+        globals_map = {"Counter": NativeConstructor(factory, "Counter")}
+        assert value_of("var c = new Counter(); c.increment(); c.count;", globals_map) == 1
+        assert len(created) == 1
+
+    def test_new_on_script_function_builds_object(self):
+        assert value_of("function Point(x) { this.x = x; } var p = new Point(7); p.x;") == 7
+
+    def test_new_on_non_constructible_fails(self):
+        result = run("var x = new undefined();")
+        assert result.failed
+
+
+class TestErrorsAndBudget:
+    def test_unknown_identifier(self):
+        result = run("missing_variable + 1;")
+        assert result.failed
+        assert not result.completed
+        assert "not defined" in str(result.error)
+
+    def test_member_access_on_null(self):
+        result = run("var x = null; x.property;")
+        assert result.failed
+
+    def test_calling_a_non_function(self):
+        result = run("var x = 3; x();")
+        assert result.failed
+
+    def test_syntax_error_is_reported_not_raised(self):
+        result = run("var = ;")
+        assert result.failed
+        assert result.completed is False
+
+    def test_top_level_return_is_an_error(self):
+        result = run("return 1;")
+        assert result.failed
+
+    def test_infinite_loop_hits_budget(self):
+        result = run("while (true) { var x = 1; }", max_steps=2_000)
+        assert result.failed
+        assert isinstance(result.error, BudgetExceeded)
+        assert result.steps >= 2_000
+
+    def test_steps_are_counted(self):
+        result = run("var total = 0; for (var i = 0; i < 10; i += 1) { total += i; }")
+        assert result.steps > 10
+        assert not result.failed

@@ -1,0 +1,101 @@
+"""Tests for the MiniScript lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scripting.errors import LexError
+from repro.scripting.lexer import TokenType, tokenize_script
+
+
+def kinds(source: str) -> list[tuple[TokenType, str]]:
+    return [(token.type, token.value) for token in tokenize_script(source) if token.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_numbers(self):
+        assert kinds("42 3.14") == [(TokenType.NUMBER, "42"), (TokenType.NUMBER, "3.14")]
+
+    def test_strings_single_and_double_quotes(self):
+        tokens = kinds("'single' \"double\"")
+        assert tokens == [(TokenType.STRING, "single"), (TokenType.STRING, "double")]
+
+    def test_string_escapes(self):
+        tokens = tokenize_script(r"'it\'s \n fine'")
+        assert tokens[0].type is TokenType.STRING
+        assert "it's" in tokens[0].value
+
+    def test_identifiers_and_keywords(self):
+        tokens = kinds("var count = answer;")
+        assert tokens[0] == (TokenType.KEYWORD, "var")
+        assert tokens[1] == (TokenType.IDENTIFIER, "count")
+        assert (TokenType.IDENTIFIER, "answer") in tokens
+
+    @pytest.mark.parametrize("keyword", ["function", "return", "if", "else", "while", "for",
+                                         "true", "false", "null", "new", "typeof", "break", "continue"])
+    def test_all_keywords_are_classified(self, keyword):
+        token = tokenize_script(keyword)[0]
+        assert token.type is TokenType.KEYWORD
+        assert token.value == keyword
+
+    def test_punctuation_and_operators(self):
+        tokens = kinds("a.b(c[0], {x: 1});")
+        punct = [value for token_type, value in tokens if token_type is TokenType.PUNCTUATION]
+        assert "(" in punct and "{" in punct and "[" in punct and ";" in punct
+
+    def test_eof_token_is_appended(self):
+        assert tokenize_script("")[-1].type is TokenType.EOF
+        assert tokenize_script("x")[-1].type is TokenType.EOF
+
+
+class TestOperators:
+    def test_maximal_munch_for_multi_character_operators(self):
+        tokens = kinds("a === b && c != d")
+        operators = [value for token_type, value in tokens if token_type is TokenType.OPERATOR]
+        assert operators == ["===", "&&", "!="]
+
+    def test_comparison_and_arithmetic(self):
+        operators = [v for t, v in kinds("x <= 1 + 2 * 3 % 4") if t is TokenType.OPERATOR]
+        assert operators == ["<=", "+", "*", "%"]
+
+    def test_compound_assignment(self):
+        operators = [v for t, v in kinds("x += 1; y -= 2") if t is TokenType.OPERATOR]
+        assert operators == ["+=", "-="]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_are_skipped(self):
+        assert kinds("var x = 1; // trailing comment\nvar y = 2;")[0] == (TokenType.KEYWORD, "var")
+        values = [v for _, v in kinds("// only a comment")]
+        assert values == []
+
+    def test_block_comments_are_skipped(self):
+        tokens = kinds("var /* hidden */ x")
+        assert tokens == [(TokenType.KEYWORD, "var"), (TokenType.IDENTIFIER, "x")]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize_script("var x;\n  y = 1;")
+        y_token = next(token for token in tokens if token.value == "y")
+        assert y_token.line == 2
+        assert y_token.column >= 2
+
+
+class TestLexErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize_script("var s = 'oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize_script("var x = 1 @ 2")
+
+
+class TestTokenHelpers:
+    def test_is_keyword_is_punct_is_op(self):
+        tokens = tokenize_script("if (x) { y = 1; }")
+        assert tokens[0].is_keyword("if")
+        assert not tokens[0].is_keyword("while")
+        assert tokens[1].is_punct("(")
+        equals = next(token for token in tokens if token.value == "=")
+        assert equals.is_op("=")
+        assert not equals.is_op("==")

@@ -1,0 +1,171 @@
+"""Tests for the MiniScript parser (source text → AST)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scripting import ast_nodes as ast
+from repro.scripting.errors import ParseError
+from repro.scripting.parser import parse_script
+
+
+def first_statement(source: str):
+    program = parse_script(source)
+    assert isinstance(program, ast.Program)
+    return program.body[0]
+
+
+class TestStatements:
+    def test_var_declaration(self):
+        statement = first_statement("var count = 3;")
+        assert isinstance(statement, ast.VarDeclaration)
+        assert statement.name == "count"
+        assert isinstance(statement.initializer, ast.NumberLiteral)
+
+    def test_var_declaration_without_initializer(self):
+        statement = first_statement("var pending;")
+        assert isinstance(statement, ast.VarDeclaration)
+        assert statement.initializer is None
+
+    def test_function_declaration(self):
+        statement = first_statement("function add(a, b) { return a + b; }")
+        assert isinstance(statement, ast.FunctionDeclaration)
+        assert statement.name == "add"
+        assert statement.parameters == ["a", "b"]
+        assert isinstance(statement.body, ast.Block)
+        assert isinstance(statement.body.statements[0], ast.Return)
+
+    def test_if_else(self):
+        statement = first_statement("if (x > 1) { y = 1; } else { y = 2; }")
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.test, ast.Binary)
+        assert statement.alternate is not None
+
+    def test_if_without_else(self):
+        statement = first_statement("if (ready) go();")
+        assert isinstance(statement, ast.If)
+        assert statement.alternate is None
+
+    def test_while_loop(self):
+        statement = first_statement("while (i < 10) { i = i + 1; }")
+        assert isinstance(statement, ast.While)
+
+    def test_for_loop(self):
+        statement = first_statement("for (var i = 0; i < 5; i = i + 1) { total = total + i; }")
+        assert isinstance(statement, ast.For)
+        assert isinstance(statement.init, ast.VarDeclaration)
+        assert isinstance(statement.test, ast.Binary)
+        assert statement.update is not None
+
+    def test_break_and_continue(self):
+        program = parse_script("while (true) { if (x) { break; } continue; }")
+        loop = program.body[0]
+        inner = loop.body.statements
+        assert isinstance(inner[0].consequent.statements[0], ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_multiple_statements(self):
+        program = parse_script("var a = 1; var b = 2; a + b;")
+        assert len(program.body) == 3
+        assert isinstance(program.body[2], ast.ExpressionStatement)
+
+
+class TestExpressions:
+    def test_literals(self):
+        program = parse_script("1; 'text'; true; false; null; [1, 2]; ({a: 1, b: 'x'});")
+        types = [type(statement.expression) for statement in program.body]
+        assert types == [
+            ast.NumberLiteral,
+            ast.StringLiteral,
+            ast.BooleanLiteral,
+            ast.BooleanLiteral,
+            ast.NullLiteral,
+            ast.ArrayLiteral,
+            ast.ObjectLiteral,
+        ]
+
+    def test_object_literal_entries(self):
+        expression = first_statement("({name: 'escudo', rings: 4});").expression
+        assert isinstance(expression, ast.ObjectLiteral)
+        keys = [key for key, _ in expression.entries]
+        assert keys == ["name", "rings"]
+
+    def test_member_access_dot_and_computed(self):
+        expression = first_statement("a.b[0].c;").expression
+        assert isinstance(expression, ast.MemberAccess)
+        assert expression.name == "c"
+        inner = expression.target
+        assert isinstance(inner, ast.MemberAccess)
+        assert inner.computed
+
+    def test_call_with_arguments(self):
+        expression = first_statement("document.getElementById('x');").expression
+        assert isinstance(expression, ast.Call)
+        assert isinstance(expression.callee, ast.MemberAccess)
+        assert len(expression.arguments) == 1
+
+    def test_new_expression(self):
+        expression = first_statement("new XMLHttpRequest();").expression
+        assert isinstance(expression, ast.NewExpression)
+        assert expression.constructor == "XMLHttpRequest"
+
+    def test_operator_precedence_multiplication_over_addition(self):
+        expression = first_statement("1 + 2 * 3;").expression
+        assert isinstance(expression, ast.Binary)
+        assert expression.operator == "+"
+        assert isinstance(expression.right, ast.Binary)
+        assert expression.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        expression = first_statement("(1 + 2) * 3;").expression
+        assert expression.operator == "*"
+        assert expression.left.operator == "+"
+
+    def test_logical_operators_and_ternary(self):
+        expression = first_statement("ready && ok ? 'yes' : 'no';").expression
+        assert isinstance(expression, ast.Conditional)
+        assert isinstance(expression.test, ast.Binary)
+        assert expression.test.operator == "&&"
+
+    def test_assignment_and_compound_assignment(self):
+        plain = first_statement("x = 1;").expression
+        assert isinstance(plain, ast.Assignment)
+        assert plain.operator == "="
+        compound = first_statement("x += 2;").expression
+        assert compound.operator == "+="
+
+    def test_assignment_to_member(self):
+        expression = first_statement("header.textContent = 'hi';").expression
+        assert isinstance(expression, ast.Assignment)
+        assert isinstance(expression.target, ast.MemberAccess)
+
+    def test_unary_operators(self):
+        program = parse_script("!x; -y; typeof z;")
+        operators = [statement.expression.operator for statement in program.body]
+        assert operators == ["!", "-", "typeof"]
+
+    def test_function_expression_as_value(self):
+        statement = first_statement("var handler = function (event) { return event; };")
+        assert isinstance(statement.initializer, ast.FunctionExpression)
+        assert statement.initializer.parameters == ["event"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "var = 3;",
+            "if (x { y(); }",
+            "var x = (1 + ;",
+            "a +* b;",
+            "{ unclosed: 1;",
+        ],
+    )
+    def test_malformed_programs_raise_parse_error(self, source):
+        with pytest.raises(ParseError):
+            parse_script(source)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_script("var ok = 1;\nvar = broken;")
+        assert excinfo.value.line == 2

@@ -1,0 +1,88 @@
+"""Property-based tests for the MiniScript substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scripting.interpreter import Interpreter
+from repro.scripting.lexer import TokenType, tokenize_script
+from repro.scripting.parser import parse_script
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True).filter(
+    lambda name: name not in {
+        "var", "function", "return", "if", "else", "while", "for", "true", "false",
+        "null", "new", "typeof", "break", "continue", "arguments", "this", "undefined",
+    }
+)
+integers = st.integers(min_value=-10_000, max_value=10_000)
+string_literals = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" _"),
+                          max_size=15)
+
+
+def evaluate(source: str):
+    result = Interpreter().run(source)
+    assert not result.failed, f"{source!r} failed: {result.error}"
+    return result.value
+
+
+class TestLexerProperties:
+    @given(identifiers, integers)
+    @settings(max_examples=100)
+    def test_tokenization_is_loss_free_for_simple_declarations(self, name, number):
+        tokens = tokenize_script(f"var {name} = {number};")
+        values = [token.value for token in tokens if token.type is not TokenType.EOF]
+        assert values[0] == "var"
+        assert values[1] == name
+        assert str(abs(number)) in values
+
+    @given(string_literals)
+    @settings(max_examples=100)
+    def test_string_literal_round_trip(self, text):
+        tokens = tokenize_script(f"'{text}';")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == text
+
+
+class TestInterpreterProperties:
+    @given(integers, integers)
+    @settings(max_examples=100)
+    def test_addition_matches_python(self, a, b):
+        assert evaluate(f"({a}) + ({b});") == a + b
+
+    @given(integers, integers)
+    @settings(max_examples=100)
+    def test_comparison_matches_python(self, a, b):
+        assert evaluate(f"({a}) < ({b});") == (a < b)
+        assert evaluate(f"({a}) == ({b});") == (a == b)
+
+    @given(st.lists(integers, min_size=0, max_size=8))
+    @settings(max_examples=80)
+    def test_summing_loop_matches_python(self, values):
+        literal = "[" + ", ".join(str(value) for value in values) + "]"
+        source = (
+            f"var values = {literal};"
+            "var total = 0;"
+            "for (var i = 0; i < values.length; i += 1) { total += values[i]; }"
+            "total;"
+        )
+        assert evaluate(source) == sum(values)
+
+    @given(identifiers, integers)
+    @settings(max_examples=80)
+    def test_variables_hold_their_values(self, name, number):
+        assert evaluate(f"var {name} = {number}; {name};") == number
+
+    @given(string_literals, string_literals)
+    @settings(max_examples=80)
+    def test_string_concatenation_matches_python(self, left, right):
+        assert evaluate(f"'{left}' + '{right}';") == left + right
+
+
+class TestParserProperties:
+    @given(st.lists(integers, min_size=1, max_size=6))
+    @settings(max_examples=80)
+    def test_every_statement_is_represented(self, values):
+        source = " ".join(f"var v{i} = {value};" for i, value in enumerate(values))
+        program = parse_script(source)
+        assert len(program.body) == len(values)

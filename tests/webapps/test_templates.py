@@ -1,0 +1,116 @@
+"""Tests for the template engine and its ESCUDO configuration support."""
+
+from __future__ import annotations
+
+from repro.core.nonce import NonceGenerator
+from repro.core.rings import Ring
+from repro.html.parser import parse_document
+from repro.webapps.templates import AcScope, EscudoPageTemplate, ac_scope, render_template
+
+
+class TestRenderTemplate:
+    def test_substitution(self):
+        assert render_template("Hello {{ name }}!", {"name": "world"}) == "Hello world!"
+
+    def test_values_are_escaped_by_default(self):
+        rendered = render_template("<p>{{ body }}</p>", {"body": "<script>x()</script>"})
+        assert "<script>" not in rendered
+        assert "&lt;script&gt;" in rendered
+
+    def test_safe_filter_passes_markup_through(self):
+        rendered = render_template("<p>{{ body|safe }}</p>", {"body": "<em>ok</em>"})
+        assert rendered == "<p><em>ok</em></p>"
+
+    def test_unknown_placeholders_render_empty(self):
+        assert render_template("[{{ missing }}]") == "[]"
+
+    def test_non_string_values_are_stringified(self):
+        assert render_template("id={{ id }}", {"id": 7}) == "id=7"
+
+    def test_unterminated_placeholder_is_left_verbatim(self):
+        assert render_template("broken {{ tail", {"tail": "x"}) == "broken {{ tail"
+
+    def test_multiple_placeholders(self):
+        rendered = render_template("{{ a }}-{{ b }}-{{ a }}", {"a": "1", "b": "2"})
+        assert rendered == "1-2-1"
+
+
+class TestAcScope:
+    def test_open_tag_carries_ring_acl_and_nonce(self):
+        scope = ac_scope(3, read=2, write=2, use=2, nonces=NonceGenerator(seed="t"))
+        tag = scope.open_tag({"id": "post-scope-1"})
+        assert 'ring="3"' in tag
+        assert 'r="2"' in tag and 'w="2"' in tag and 'x="2"' in tag
+        assert 'nonce="' in tag
+        assert 'id="post-scope-1"' in tag
+
+    def test_close_tag_repeats_the_nonce(self):
+        scope = ac_scope(3, nonces=NonceGenerator(seed="t"))
+        assert scope.nonce in scope.close_tag()
+
+    def test_scope_without_nonce_generator_has_plain_terminator(self):
+        scope = ac_scope(2)
+        assert scope.nonce is None
+        assert scope.close_tag() == "</div>"
+
+    def test_omitted_acl_defaults_to_the_scope_ring(self):
+        scope = ac_scope(2)
+        assert scope.acl.read == Ring(2)
+        assert scope.acl.write == Ring(2)
+        assert scope.acl.use == Ring(2)
+
+    def test_wrap_round_trips_through_the_parser(self):
+        scope = ac_scope(3, read=2, write=2, use=2, nonces=NonceGenerator(seed="t"))
+        document = parse_document(scope.wrap("<p id='inner'>content</p>", {"id": "outer"}))
+        outer = document.get_element_by_id("outer")
+        assert outer.is_ac_tag
+        assert outer.declared_ring == Ring(3)
+        assert outer.declared_nonce == scope.nonce
+        assert document.get_element_by_id("inner") is not None
+
+    def test_attribute_values_are_escaped(self):
+        scope = AcScope(ring=Ring(1), acl=ac_scope(1).acl, nonce='abc"><script>')
+        assert "<script>" not in scope.open_tag()
+
+
+class TestEscudoPageTemplate:
+    def build(self, *, escudo: bool = True) -> str:
+        page = EscudoPageTemplate(title="Test & page", escudo_enabled=escudo,
+                                  nonces=NonceGenerator(seed="page"))
+        page.add_head_script("var trusted = 1;")
+        page.add_chrome("<h1 id='banner'>App</h1>", element_id="chrome-section")
+        page.add_content("<p>user text</p>", ring=3, read=2, write=2, use=2, element_id="message-1")
+        page.add_content("<p>other user text</p>", ring=3, read=2, write=2, use=2, element_id="message-2")
+        return page.render()
+
+    def test_escudo_rendering_produces_labelled_scopes(self):
+        document = parse_document(self.build())
+        chrome = document.get_element_by_id("chrome-section")
+        assert chrome is not None
+        assert chrome.closest_ac_ancestor() is not None or chrome.is_ac_tag
+        message = document.get_element_by_id("message-1")
+        scope = message if message.is_ac_tag else message.closest_ac_ancestor()
+        assert scope.declared_ring == Ring(3)
+
+    def test_each_content_section_gets_its_own_scope_and_nonce(self):
+        document = parse_document(self.build())
+        scopes = [el for el in document.elements() if el.is_ac_tag and el.declared_ring == Ring(3)]
+        assert len(scopes) == 2
+        nonces = {el.declared_nonce for el in scopes}
+        assert len(nonces) == 2, "every scope has a distinct nonce"
+
+    def test_title_is_escaped(self):
+        assert "Test &amp; page" in self.build()
+
+    def test_legacy_rendering_has_no_escudo_attributes(self):
+        markup = self.build(escudo=False)
+        assert "ring=" not in markup
+        assert "nonce=" not in markup
+        document = parse_document(markup)
+        assert document.get_element_by_id("chrome-section") is not None
+        assert document.get_element_by_id("message-1") is not None
+
+    def test_head_content_is_wrapped_in_the_head_ring_scope(self):
+        document = parse_document(self.build())
+        head_scopes = [el for el in document.head.element_descendants() if el.is_ac_tag]
+        assert head_scopes and head_scopes[0].declared_ring == Ring(0)
