@@ -12,12 +12,26 @@ flat (low double digits at worst in this pure-Python pipeline) as pages grow.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.bench import all_workloads, average_overhead, format_figure4, measure_all
+from repro.bench import (
+    MEDIATION_SPEC,
+    all_workloads,
+    average_overhead,
+    format_figure4,
+    format_mediation_report,
+    measure_all,
+    measure_mediation,
+)
 from repro.bench.timing import parse_and_render
 
 WORKLOADS = all_workloads()
+
+#: JSON artifact with the mediation-pipeline numbers (throughput, hit rate).
+MEDIATION_ARTIFACT = Path(__file__).parent / "results" / "BENCH_mediation.json"
 
 
 @pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
@@ -48,5 +62,38 @@ def test_fig4_summary_table(benchmark, report_writer):
     # the Lobo browser, so the same per-tag bookkeeping is relatively more
     # visible; anything wildly larger indicates a regression.
     assert overhead < 60.0, f"average ESCUDO overhead unexpectedly high: {overhead:.1f}%"
-    # Every scenario must actually have exercised ESCUDO bookkeeping.
+    # Every scenario must actually have exercised ESCUDO bookkeeping, and the
+    # mediation columns must reflect real mediated sweeps over each page.
     assert all(row.ac_tags > 0 for row in rows)
+    assert all(row.mediations > 0 for row in rows)
+
+
+def test_mediation_throughput(report_writer):
+    """Mediation pipeline: warm decision cache vs. uncached monitor.
+
+    A repeated-access workload (>=10k authorizations over 96 distinct request
+    keys -- the shape of traversal sweeps and event dispatch) must run at
+    least 2x faster through a warm cache than through the uncached monitor,
+    with identical verdicts.  Writes the ``BENCH_mediation.json`` artifact.
+    """
+    comparison = measure_mediation(MEDIATION_SPEC)
+    report_writer("mediation_throughput", format_mediation_report(comparison))
+    MEDIATION_ARTIFACT.parent.mkdir(exist_ok=True)
+    MEDIATION_ARTIFACT.write_text(
+        json.dumps(comparison.as_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert comparison.spec.total_requests >= 10_000
+    assert comparison.cached.total == comparison.uncached.total == comparison.spec.total_requests
+    # The cache must change nothing but speed.
+    assert comparison.verdicts_identical
+    # The stream deliberately mixes allow and deny verdicts.
+    assert comparison.cached.allowed > 0 and comparison.cached.denied > 0
+    # Warm cache: every timed request is a hit, and throughput at least
+    # doubles (locally ~3x; the bound leaves headroom for noisy CI boxes).
+    assert comparison.cached.cache_hit_rate > 0.99
+    assert comparison.speedup >= 2.0, (
+        f"warm-cache mediation speedup {comparison.speedup:.2f}x below the 2x floor "
+        f"({comparison.cached.mediations_per_second:,.0f}/s cached vs "
+        f"{comparison.uncached.mediations_per_second:,.0f}/s uncached)"
+    )

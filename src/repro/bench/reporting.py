@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .timing import OverheadRow, average_overhead
+from .timing import MediationComparison, OverheadRow, average_overhead
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = "") -> str:
@@ -47,6 +47,8 @@ def format_figure4(rows: list[OverheadRow]) -> str:
             f"{row.without_escudo.minimum_ms:.3f}",
             f"{row.with_escudo.minimum_ms:.3f}",
             f"{row.overhead_percent:+.2f}%",
+            f"{row.mediations_per_second:,.0f}",
+            f"{row.cache_hit_rate * 100.0:.1f}%",
         )
         for row in rows
     ]
@@ -55,11 +57,42 @@ def format_figure4(rows: list[OverheadRow]) -> str:
         ("scenario", "elements", "AC tags",
          f"without ESCUDO (ms, best of {repetitions})",
          f"with ESCUDO (ms, best of {repetitions})",
-         "overhead"),
+         "overhead", "mediations/s", "cache hits"),
         table_rows,
         title="Figure 4: parse + render time per scenario",
     )
     return table + f"\naverage overhead: {average_overhead(rows):+.2f}% (paper: ~5.09%)"
+
+
+def format_mediation_report(comparison: MediationComparison) -> str:
+    """The mediation-pipeline summary: cached vs. uncached monitor."""
+    rows = [
+        (
+            sample.variant,
+            sample.total,
+            f"{sample.duration_s * 1000.0:.1f}",
+            f"{sample.mediations_per_second:,.0f}",
+            sample.allowed,
+            sample.denied,
+            f"{sample.cache_hit_rate * 100.0:.1f}%",
+        )
+        for sample in (comparison.uncached, comparison.cached)
+    ]
+    table = format_table(
+        ("monitor", "mediations", "time (ms)", "mediations/s", "allowed", "denied", "cache hits"),
+        rows,
+        title=(
+            f"Mediation throughput ({comparison.spec.name}: "
+            f"{comparison.spec.total_requests} authorizations, "
+            f"{comparison.spec.distinct_keys} distinct keys)"
+        ),
+    )
+    parity = "yes" if comparison.verdicts_identical else "NO -- CACHE BUG"
+    return (
+        table
+        + f"\nwarm-cache speedup: {comparison.speedup:.2f}x"
+        + f"\nverdicts identical with/without cache: {parity}"
+    )
 
 
 def format_defense_matrix(results_by_model: dict[str, list]) -> str:

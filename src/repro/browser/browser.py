@@ -27,7 +27,7 @@ from repro.core.context import SecurityContext
 from repro.core.decision import Operation
 from repro.core.origin import Origin
 from repro.core.rings import Ring
-from repro.http.cookies import Cookie, CookieJar, format_cookie_header
+from repro.http.cookies import Cookie, CookieJar, authorized_cookies, format_cookie_header
 from repro.http.headers import Headers
 from repro.http.messages import HttpRequest, HttpResponse
 from repro.http.network import Network
@@ -162,27 +162,45 @@ class Browser:
             initiator=initiator_label,
         )
         eligible = self.cookie_jar.cookies_for(url.origin, url.path)
-        attached: list[Cookie] = []
-        for cookie in eligible:
-            if self.model == "sop":
-                attached.append(cookie)
-                continue
-            decision = page.monitor.authorize(
-                principal,
-                cookie,
-                Operation.USE,
-                object_label=cookie.label,
-            )
-            if decision.allowed:
-                attached.append(cookie)
+        if self.model == "sop":
+            attached: list[Cookie] = eligible
+        else:
+            # Batched ``use`` sweep: one principal coercion, one decision per
+            # distinct cookie context, one recorded decision per cookie.
+            attached = authorized_cookies(page.monitor, principal, eligible, Operation.USE)
         header = format_cookie_header(attached)
         if header:
             request.attach_cookie_header(header)
 
         response = self.network.dispatch(request)
         configuration = response.escudo_configuration()
-        self.cookie_jar.store_from_response(url.origin, response.set_cookie_values, configuration)
+        self._store_response_cookies(url.origin, response, configuration, monitor=page.monitor)
         return response
+
+    def _store_response_cookies(self, origin, response, configuration, *, monitor=None):
+        """Store a response's cookies, invalidating cached verdicts on relabel.
+
+        ``X-Escudo-Cookie-Policy`` can relabel an already-stored cookie (new
+        ring/ACL).  Cached decisions are keyed by context *values*, so the old
+        entries can never be consulted for the relabelled cookie -- but we
+        still bump the monitor's cache generation so no verdict predating a
+        privilege change survives it.
+        """
+        set_cookie_values = response.set_cookie_values
+        if monitor is None or not set_cookie_values:
+            # Nothing can be relabelled; skip the jar scan on the common
+            # cookie-less response path.
+            return self.cookie_jar.store_from_response(origin, set_cookie_values, configuration)
+        relabel_watch = {
+            c.name: (c.ring, c.acl) for c in self.cookie_jar.all_cookies() if c.origin == origin
+        }
+        stored = self.cookie_jar.store_from_response(origin, set_cookie_values, configuration)
+        if any(
+            cookie.name in relabel_watch and relabel_watch[cookie.name] != (cookie.ring, cookie.acl)
+            for cookie in stored
+        ):
+            monitor.invalidate_cache()
+        return stored
 
     # -- subresources ------------------------------------------------------------------------
 
@@ -307,16 +325,16 @@ class Browser:
     # -- cookie access from scripts ------------------------------------------------------------------
 
     def read_cookie_string(self, page: Page, principal: SecurityContext) -> str:
-        """``document.cookie`` getter: only cookies the principal may read."""
-        visible: list[Cookie] = []
-        for cookie in self.cookie_jar.cookies_for(page.origin, page.url.path):
-            if cookie.http_only:
-                continue
-            decision = page.monitor.authorize(
-                principal, cookie, Operation.READ, object_label=cookie.label
-            )
-            if decision.allowed:
-                visible.append(cookie)
+        """``document.cookie`` getter: only cookies the principal may read.
+
+        A batched ``read`` sweep over the origin's script-visible cookies.
+        """
+        readable = [
+            cookie
+            for cookie in self.cookie_jar.cookies_for(page.origin, page.url.path)
+            if not cookie.http_only
+        ]
+        visible = authorized_cookies(page.monitor, principal, readable, Operation.READ)
         return format_cookie_header(visible)
 
     def write_cookie_string(self, page: Page, principal: SecurityContext, cookie_string: str) -> bool:
@@ -328,10 +346,7 @@ class Browser:
         value = rest.split(";", 1)[0].strip()
         existing = self.cookie_jar.get(page.origin, name)
         if existing is not None:
-            decision = page.monitor.authorize(
-                principal, existing, Operation.WRITE, object_label=existing.label
-            )
-            if decision.denied:
+            if not page.monitor.allows(principal, existing, Operation.WRITE):
                 return False
             self.cookie_jar.set(existing.with_value(value))
             return True
@@ -344,10 +359,7 @@ class Browser:
             ring=ring,
             acl=Acl.uniform(ring),
         )
-        decision = page.monitor.authorize(
-            principal, new_cookie, Operation.WRITE, object_label=new_cookie.label
-        )
-        if decision.denied:
+        if not page.monitor.allows(principal, new_cookie, Operation.WRITE):
             return False
         self.cookie_jar.set(new_cookie)
         return True
@@ -361,8 +373,7 @@ class Browser:
         same origin can read it.
         """
         state = self.history.protected_objects(page.origin)["history"]
-        decision = page.monitor.authorize(principal, state, Operation.READ, object_label="history")
-        if decision.denied:
+        if not page.monitor.allows(principal, state, Operation.READ, object_label="history"):
             return None
         return [str(entry.url) for entry in self.history.entries]
 

@@ -312,7 +312,7 @@ class _PrincipalEnvironment:
             self.page.document,
             self.page.monitor,
             principal,
-            api_object=self.page.dom_api_context(),
+            api_object=runtime.dom_api_object,
             listener_registry=self._register_raw_listener,
         )
         self.document_binding = DocumentBinding(self.dom_api, self)
@@ -404,6 +404,11 @@ class ScriptRuntime:
         self.page = page
         self.max_steps = max_steps
         self.observations = RuntimeObservations()
+        # Resolved once per runtime: every principal's DOM facade shares the
+        # same API object context, and building it per script execution costs
+        # more than the cached ``use`` checks it gates.  Frozen value, so
+        # sharing is safe across environments.
+        self.dom_api_object = page.dom_api_context()
 
     # -- execution entry points ----------------------------------------------------------
 

@@ -66,6 +66,8 @@ class UiEventLayer:
             principal = self.page.browser_principal()
         else:
             principal = synthesizing_principal
+        if user_initiated:
+            principal = principal.with_label("user/browser")
 
         event = Event(event_type=event_type, target=element, detail=detail or {})
         result = UiEventResult(
@@ -73,17 +75,28 @@ class UiEventLayer:
             target_description=f"<{element.tag_name}>" + (f"#{element.id}" if element.id else ""),
         )
 
-        def deliverable(candidate: Element) -> bool:
+        # Batch step: pre-label the whole propagation path and warm the
+        # monitor's decision cache in one grouped pass, so the per-element
+        # ``use`` checks during dispatch are cache hits.  Warming records
+        # nothing -- elements the event never reaches (stopPropagation) still
+        # produce no audited access.
+        labeled_targets: dict[int, SecurityContext] = {}
+        for candidate in self.page.dispatcher.propagation_path(element):
             context = candidate.security_context
-            if context is None:
-                return True
-            decision = self.page.monitor.authorize(
-                principal,
-                context,
-                Operation.USE,
-                principal_label="user/browser" if user_initiated else principal.label,
-                object_label=f"<{candidate.tag_name}> (event target)",
-            )
+            if context is not None:
+                labeled_targets[id(candidate)] = context.with_label(
+                    f"<{candidate.tag_name}> (event target)"
+                )
+        self.page.monitor.warm(principal, labeled_targets.values(), Operation.USE)
+
+        def deliverable(candidate: Element) -> bool:
+            target_context = labeled_targets.get(id(candidate))
+            if target_context is None:
+                context = candidate.security_context
+                if context is None:
+                    return True
+                target_context = context.with_label(f"<{candidate.tag_name}> (event target)")
+            decision = self.page.monitor.authorize(principal, target_context, Operation.USE)
             label = f"<{candidate.tag_name}>" + (f"#{candidate.id}" if candidate.id else "")
             if decision.allowed:
                 result.delivered_to.append(label)

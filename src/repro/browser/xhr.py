@@ -102,15 +102,16 @@ class XmlHttpRequest(HostObject):
         if self._url_text is None:
             raise RuntimeScriptError("XMLHttpRequest.send() called before open()")
 
-        # Mediation: the principal must be allowed to *use* the XHR API object.
+        # Mediation: the principal must be allowed to *use* the XHR API
+        # object.  The fast-path predicate is fully recorded like authorize();
+        # repeated sends by the same principal are decision-cache hits.
         api_context = self._page.api_context("XMLHttpRequest")
-        decision = self._page.monitor.authorize(
+        if not self._page.monitor.allows(
             self._principal,
             api_context,
             Operation.USE,
             object_label="XMLHttpRequest (native-api)",
-        )
-        if decision.denied:
+        ):
             self.denied = True
             self.status = 0.0
             self.response_text = ""

@@ -1,0 +1,152 @@
+"""Decision caching for the reference monitor's hot path.
+
+Complete mediation means *every* DOM read/write/use funnels through the
+reference monitor, so the monitor's per-request cost is exactly the overhead
+the paper's Figure 4 measures.  The policies are pure functions over frozen
+:class:`~repro.core.context.SecurityContext` values, which makes their
+verdicts perfectly cacheable: the same ``(principal, target, operation)``
+triple always yields the same decision for a given policy configuration.
+
+:class:`DecisionCache` memoises fully materialised
+:class:`~repro.core.decision.AccessDecision` values (they are frozen, so a
+cached decision can safely be handed out -- and audited -- many times).
+Correctness is guarded two ways:
+
+* **Value keying** -- contexts are immutable; relabelling an entity (ACL,
+  ring or nonce change) produces a *new* context and therefore a new cache
+  key, so stale entries can never be consulted for the relabelled entity.
+* **Generation invalidation** -- the monitor bumps the cache generation
+  (dropping every entry) on :meth:`~repro.core.monitor.ReferenceMonitor.reset`,
+  on policy swap, and whenever the browser relabels live objects in place
+  (e.g. a response's ``X-Escudo-Cookie-Policy`` relabelling stored cookies),
+  as a belt-and-braces defence for callers that mutate policy state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .decision import AccessDecision
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Read-only snapshot of a cache's effectiveness counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    generation: int
+    invalidations: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Serialise for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "generation": self.generation,
+            "invalidations": self.invalidations,
+        }
+
+
+class DecisionCache:
+    """Bounded memo of access decisions keyed by request identity.
+
+    The key is built by the monitor from
+    ``(principal context, target context, operation, labels)``; everything in
+    it is hashable because contexts are frozen dataclasses.  Eviction is
+    oldest-first (insertion order): the cache exists to absorb the repeated
+    accesses of traversal sweeps and event dispatch, which are temporally
+    clustered, so a simple FIFO keeps the hit path to a single dict lookup.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError("decision cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._decisions: dict[Hashable, "AccessDecision"] = {}
+        self._hits = 0
+        self._misses = 0
+        self._generation = 0
+        self._invalidations = 0
+
+    # -- hot path -------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> "AccessDecision | None":
+        """Return the cached decision for ``key``, counting hit/miss."""
+        decision = self._decisions.get(key)
+        if decision is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return decision
+
+    def put(self, key: Hashable, decision: "AccessDecision") -> None:
+        """Store ``decision``, evicting the oldest entry when full."""
+        if len(self._decisions) >= self.maxsize and key not in self._decisions:
+            self._decisions.pop(next(iter(self._decisions)))
+        self._decisions[key] = decision
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every entry and start a new generation.
+
+        Called on ``monitor.reset()``, policy swap, and any in-place
+        relabelling of live objects (ACL/ring/nonce changes).
+        """
+        self._decisions.clear()
+        self._generation += 1
+        self._invalidations += 1
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter identifying the current cache epoch."""
+        return self._generation
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def info(self) -> CacheInfo:
+        """Snapshot the effectiveness counters."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._decisions),
+            maxsize=self.maxsize,
+            generation=self._generation,
+            invalidations=self._invalidations,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._decisions

@@ -203,8 +203,8 @@ class ElementHandle:
         return self._api.wrap(found) if found is not None else None
 
     def query_selector_all(self, selector: str) -> list["ElementHandle"]:
-        """All matching descendants."""
-        return [self._api.wrap(el) for el in query_selector_all(self._element, selector)]
+        """All matching descendants (the sweep pre-warms the decision cache)."""
+        return self._api.wrap_all(query_selector_all(self._element, selector))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ElementHandle {self._element.tag_name}>"
@@ -231,40 +231,106 @@ class DomApi:
         self.last_denial: AccessDecision | None = None
         self._listener_registry = listener_registry
         self._default_new_element_acl = default_new_element_acl
+        # Mediation memos: the decision-bearing context for an element is a
+        # pure function of its tag name and security context, so display
+        # labels (and fail-safe defaults for unlabelled elements) are built
+        # once per distinct (tag, context) pair instead of per access --
+        # rebuilding those f-strings per access costs more than the cached
+        # mediation itself on the hot path.
+        self._labeled_contexts: dict[tuple[str, SecurityContext], SecurityContext] = {}
+        self._fallback_contexts: dict[str, SecurityContext] = {}
 
     # -- mediation helpers ----------------------------------------------------------
 
+    def _context_of(self, element: Element) -> SecurityContext:
+        """The element's context, or the memoised fail-safe default.
+
+        Unlabelled elements only exist before labelling finishes; they get
+        the fail-safe default (least privilege, ring-0 ACL).
+        """
+        context = element.security_context
+        if context is not None:
+            return context
+        tag = element.tag_name
+        context = self._fallback_contexts.get(tag)
+        if context is None:
+            context = SecurityContext.for_page_default(
+                origin=self.principal.origin, rings=_default_rings(), label=f"<{tag}>"
+            )
+            self._fallback_contexts[tag] = context
+        return context
+
+    def _decision_target(self, element: Element) -> SecurityContext:
+        """The element's context carrying its decision display label."""
+        context = self._context_of(element)
+        key = (element.tag_name, context)
+        labeled = self._labeled_contexts.get(key)
+        if labeled is None:
+            labeled = context.with_label(f"<{element.tag_name}> {context.label}")
+            self._labeled_contexts[key] = labeled
+        return labeled
+
+    def _use_api_allowed(self) -> bool:
+        """Mediate the ``use`` access on the DOM API object itself."""
+        if self.api_object is None:
+            return True
+        api_decision = self.monitor.authorize(
+            self.principal,
+            self.api_object,
+            Operation.USE,
+            object_label="DOM API (native-api)",
+        )
+        if api_decision.denied:
+            self.last_denial = api_decision
+            self.stats.note(api_decision)
+            return False
+        return True
+
     def authorize(self, element: Element, operation: Operation) -> bool:
         """Run the monitor for one element access by this API's principal."""
-        if self.api_object is not None:
-            api_decision = self.monitor.authorize(
-                self.principal,
-                self.api_object,
-                Operation.USE,
-                object_label="DOM API (native-api)",
-            )
-            if api_decision.denied:
-                self.last_denial = api_decision
-                self.stats.note(api_decision)
-                return False
-        context = element.security_context
-        if context is None:
-            # Unlabelled elements only exist before labelling finishes; treat
-            # them with the fail-safe default (least privilege, ring-0 ACL).
-            context = SecurityContext.for_page_default(
-                origin=self.principal.origin, rings=_default_rings(), label=f"<{element.tag_name}>"
-            )
-        decision = self.monitor.authorize(
-            self.principal,
-            context,
-            operation,
-            object_label=f"<{element.tag_name}> {context.label}",
-        )
+        if not self._use_api_allowed():
+            return False
+        decision = self.monitor.authorize(self.principal, self._decision_target(element), operation)
         self.stats.note(decision)
         if decision.denied:
             self.last_denial = decision
             return False
         return True
+
+    def authorize_sweep(self, elements: list[Element], operation: Operation) -> list[bool]:
+        """Batch-mediate one operation over many elements.
+
+        A sweep is one facade call, so the DOM API ``use`` check runs once;
+        the per-element checks go through the monitor's batch path, which
+        coerces the principal once and decides each distinct context once.
+        Every element still gets its own recorded decision.
+        """
+        if not elements:
+            return []
+        if not self._use_api_allowed():
+            return [False] * len(elements)
+        targets = [self._decision_target(element) for element in elements]
+        decisions = self.monitor.authorize_all(self.principal, targets, operation)
+        verdicts: list[bool] = []
+        for decision in decisions:
+            self.stats.note(decision)
+            if decision.denied:
+                self.last_denial = decision
+            verdicts.append(decision.allowed)
+        return verdicts
+
+    def warm_read_cache(self, elements: list[Element]) -> int:
+        """Precompute read verdicts for a traversal sweep (no access recorded).
+
+        Called by the traversal entry points so the per-element reads that
+        typically follow a ``getElementsByTagName``/selector walk are all
+        decision-cache hits.  Returns the number of distinct verdicts warmed.
+        """
+        if not elements or self.monitor.cache is None:
+            return 0
+        # warm() dedups distinct contexts itself; just stream the targets.
+        targets = (self._decision_target(element) for element in elements)
+        return self.monitor.warm(self.principal, targets, Operation.READ)
 
     def record_tamper_attempt(self, element: Element, attribute: str, *, operation: Operation) -> None:
         """Log an attempt to touch ESCUDO configuration attributes."""
@@ -333,6 +399,17 @@ class DomApi:
         """Wrap an element for script consumption."""
         return ElementHandle(element, self)
 
+    def wrap_all(self, elements: list[Element]) -> list[ElementHandle]:
+        """Wrap a traversal sweep's results, pre-warming the decision cache.
+
+        Bulk lookups are almost always followed by per-element reads; warming
+        the read verdicts here (one batch over the distinct contexts) turns
+        that walk into pure cache hits without recording any access the
+        script has not actually performed.
+        """
+        self.warm_read_cache(elements)
+        return [ElementHandle(element, self) for element in elements]
+
     def get_element_by_id(self, element_id: str) -> ElementHandle | None:
         """``document.getElementById``."""
         element = self.document.get_element_by_id(element_id)
@@ -344,12 +421,12 @@ class DomApi:
         return self.wrap(element) if element is not None else None
 
     def query_selector_all(self, selector: str) -> list[ElementHandle]:
-        """``document.querySelectorAll``."""
-        return [self.wrap(el) for el in query_selector_all(self.document, selector)]
+        """``document.querySelectorAll`` (batch-warmed sweep)."""
+        return self.wrap_all(query_selector_all(self.document, selector))
 
     def get_elements_by_tag_name(self, tag_name: str) -> list[ElementHandle]:
-        """``document.getElementsByTagName``."""
-        return [self.wrap(el) for el in self.document.get_elements_by_tag_name(tag_name)]
+        """``document.getElementsByTagName`` (batch-warmed sweep)."""
+        return self.wrap_all(self.document.get_elements_by_tag_name(tag_name))
 
     def create_element(self, tag_name: str) -> ElementHandle:
         """``document.createElement`` -- the element is labelled on insertion."""

@@ -21,6 +21,8 @@ from typing import Iterable, Iterator
 from repro.core.acl import Acl
 from repro.core.config import PageConfiguration, ResourcePolicy
 from repro.core.context import SecurityContext
+from repro.core.decision import Operation
+from repro.core.monitor import ReferenceMonitor
 from repro.core.origin import Origin
 from repro.core.rings import Ring
 
@@ -107,6 +109,26 @@ def parse_set_cookie(value: str, origin: Origin) -> Cookie:
 def format_cookie_header(cookies: Iterable[Cookie]) -> str:
     """Render cookies into a ``Cookie`` request header value."""
     return "; ".join(cookie.header_pair() for cookie in cookies)
+
+
+def authorized_cookies(
+    monitor: ReferenceMonitor,
+    principal: SecurityContext,
+    cookies: list[Cookie],
+    operation: Operation,
+) -> list[Cookie]:
+    """Batch-mediate ``operation`` over many cookies; return those allowed.
+
+    Cookie attachment (``use``) and ``document.cookie`` reads sweep the whole
+    jar for an origin on every request, so they go through the monitor's
+    batch path: the principal is coerced once and cookies sharing a security
+    context are decided once.  Every cookie still gets its own recorded
+    decision (complete mediation of the sweep is preserved).
+    """
+    if not cookies:
+        return []
+    decisions = monitor.authorize_all(principal, cookies, operation)
+    return [cookie for cookie, decision in zip(cookies, decisions) if decision.allowed]
 
 
 class CookieJar:

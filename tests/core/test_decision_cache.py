@@ -1,0 +1,234 @@
+"""Correctness tests for the mediation decision cache.
+
+The cache must be invisible except for speed: identical verdicts (and
+explanations) with and without it across the policy matrix, and no stale
+verdict may survive a privilege change (``reset()``, policy swap, ACL/ring
+relabel, explicit invalidation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acl import Acl
+from repro.core.cache import DecisionCache
+from repro.core.decision import Operation
+from repro.core.monitor import ReferenceMonitor
+from repro.core.policy import EscudoPolicy
+from repro.core.sop import SameOriginPolicy
+from tests.conftest import make_context
+
+
+def _matrix(origin, other_origin):
+    """A principal/object grid covering allow and deny for every rule."""
+    principals = [
+        make_context(origin, ring, label=f"principal-r{ring}") for ring in (0, 1, 2, 3)
+    ] + [make_context(other_origin, 0, label="foreign-principal")]
+    objects = [
+        make_context(origin, 0, label="ring0-object"),
+        make_context(origin, 2, label="ring2-object"),
+        make_context(origin, 3, read=1, write=0, use=2, label="tight-acl-object"),
+        make_context(other_origin, 1, label="foreign-object"),
+    ]
+    return principals, objects
+
+
+class TestCacheTransparency:
+    def test_same_decisions_with_and_without_cache_across_matrix(self, origin, other_origin):
+        cached = ReferenceMonitor(cache=True)
+        uncached = ReferenceMonitor(cache=False)
+        principals, objects = _matrix(origin, other_origin)
+        for _ in range(3):  # repeat so the cached monitor actually hits
+            for principal in principals:
+                for target in objects:
+                    for operation in Operation:
+                        a = cached.authorize(principal, target, operation)
+                        b = uncached.authorize(principal, target, operation)
+                        assert a.verdict is b.verdict
+                        assert a.outcomes == b.outcomes
+                        assert a.principal_label == b.principal_label
+                        assert a.object_label == b.object_label
+        info = cached.cache_info()
+        assert info is not None and info.hits > 0
+        assert uncached.cache_info() is None
+
+    def test_sop_policy_cached_matches_uncached(self, origin, other_origin):
+        cached = ReferenceMonitor(SameOriginPolicy(), cache=True)
+        uncached = ReferenceMonitor(SameOriginPolicy(), cache=False)
+        principals, objects = _matrix(origin, other_origin)
+        for principal in principals:
+            for target in objects:
+                assert (
+                    cached.authorize(principal, target, "read").verdict
+                    is uncached.authorize(principal, target, "read").verdict
+                )
+
+    def test_permits_agrees_with_evaluate(self, origin, other_origin):
+        """The cheap verdict check must match the full explanation path."""
+        principals, objects = _matrix(origin, other_origin)
+        for policy in (EscudoPolicy(), SameOriginPolicy()):
+            for principal in principals:
+                for target in objects:
+                    for operation in Operation:
+                        assert policy.permits(principal, target, operation) == policy.check(
+                            principal, target, operation
+                        ).allowed
+
+    def test_repeat_requests_hit_the_cache(self, origin):
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 1)
+        target = make_context(origin, 3)
+        for _ in range(5):
+            monitor.authorize(principal, target, "read")
+        info = monitor.cache_info()
+        assert info.misses == 1
+        assert info.hits == 4
+        assert info.hit_rate == pytest.approx(0.8)
+        assert monitor.stats.total == 5  # every access still recorded
+        assert len(monitor.audit) == 5
+
+
+class TestBatchAuthorize:
+    def test_authorize_all_groups_distinct_contexts(self, origin):
+        monitor = ReferenceMonitor()
+        target = make_context(origin, 3, label="shared")
+        decisions = monitor.authorize_all(make_context(origin, 1), [target] * 50, "read")
+        assert len(decisions) == 50
+        assert all(d.allowed for d in decisions)
+        assert monitor.stats.total == 50  # complete mediation of the sweep
+        info = monitor.cache_info()
+        assert info.misses == 1  # one policy evaluation for 50 targets
+
+    def test_authorize_all_mixed_verdicts_match_single_calls(self, origin):
+        batch_monitor = ReferenceMonitor()
+        single_monitor = ReferenceMonitor(cache=False)
+        principal = make_context(origin, 2)
+        targets = [make_context(origin, ring, label=f"t{ring}") for ring in (0, 1, 2, 3)] * 3
+        batch = batch_monitor.authorize_all(principal, targets, "write")
+        singles = [single_monitor.authorize(principal, t, "write") for t in targets]
+        assert [d.verdict for d in batch] == [d.verdict for d in singles]
+
+    def test_warm_populates_cache_without_recording(self, origin):
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 1)
+        targets = [make_context(origin, ring, label=f"t{ring}") for ring in (2, 3)]
+        warmed = monitor.warm(principal, targets * 10, "read")
+        assert warmed == 2  # distinct contexts only
+        assert monitor.stats.total == 0
+        assert len(monitor.audit) == 0
+        monitor.cache.reset_counters()
+        monitor.authorize(principal, targets[0], "read")
+        assert monitor.cache_info().hits == 1
+
+
+class TestInvalidation:
+    def test_reset_invalidates_cache(self, origin):
+        monitor = ReferenceMonitor()
+        monitor.authorize(make_context(origin, 1), make_context(origin, 3), "read")
+        generation = monitor.cache.generation
+        monitor.reset()
+        assert monitor.cache.generation == generation + 1
+        assert len(monitor.cache) == 0
+
+    def test_policy_swap_invalidates_cache(self, origin, other_origin):
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 3)
+        target = make_context(origin, 1)
+        assert monitor.authorize(principal, target, "read").denied  # ring rule
+        monitor.policy = SameOriginPolicy()
+        decision = monitor.authorize(principal, target, "read")
+        assert decision.allowed  # SOP has no ring rule
+        assert decision.policy == "same-origin"
+
+    def test_relabel_produces_fresh_verdict_without_explicit_invalidation(self, origin):
+        """Value-keyed contexts: a relabel can never reuse a stale entry."""
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 2)
+        target = make_context(origin, 3, label="object")
+        assert monitor.authorize(principal, target, "read").allowed
+        downgraded = target.with_ring(0)  # object promoted above the principal
+        assert monitor.authorize(principal, downgraded, "read").denied
+
+    def test_no_stale_allow_after_privilege_downgrade(self, origin):
+        """An in-place privilege change plus invalidation drops old verdicts."""
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 2)
+        target = make_context(origin, 3, label="object")
+        assert monitor.authorize(principal, target, "use").allowed
+        # The browser relabels the live object (e.g. a cookie-policy update)
+        # and bumps the generation, as browser.py does on relabel.
+        monitor.invalidate_cache()
+        assert len(monitor.cache) == 0
+        tightened = target.with_acl(Acl.uniform(0))
+        assert monitor.authorize(principal, tightened, "use").denied
+        assert monitor.authorize(principal, target, "use").allowed  # re-derived, not stale
+
+    def test_acl_relabel_changes_verdict(self, origin):
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 2)
+        open_target = make_context(origin, 2, read=2, write=2, use=2, label="obj")
+        assert monitor.authorize(principal, open_target, "write").allowed
+        closed = open_target.with_acl(Acl.uniform(1))
+        assert monitor.authorize(principal, closed, "write").denied
+
+    def test_shared_cache_never_crosses_policies(self, origin):
+        """A cache shared by monitors with different policies stays safe."""
+        shared = DecisionCache(maxsize=128)
+        escudo = ReferenceMonitor(EscudoPolicy(), cache=shared)
+        sop = ReferenceMonitor(SameOriginPolicy(), cache=shared)
+        principal = make_context(origin, 3)
+        target = make_context(origin, 1)
+        assert escudo.authorize(principal, target, "write").denied  # ring rule
+        decision = sop.authorize(principal, target, "write")
+        assert decision.allowed  # SOP must not inherit the cached ESCUDO denial
+        assert decision.policy == "same-origin"
+        # ...and the ESCUDO verdict must not be displaced either.
+        assert escudo.authorize(principal, target, "write").denied
+
+    def test_ablation_variants_with_same_name_do_not_share_verdicts(self, origin):
+        shared = DecisionCache(maxsize=128)
+        full = ReferenceMonitor(EscudoPolicy(), cache=shared)
+        no_ring = ReferenceMonitor(
+            EscudoPolicy(enforce_ring_rule=False, enforce_acl_rule=False), cache=shared
+        )
+        principal = make_context(origin, 3)
+        target = make_context(origin, 0)
+        assert full.authorize(principal, target, "read").denied
+        assert no_ring.authorize(principal, target, "read").allowed
+
+    def test_strict_mode_raises_on_cached_denial(self, origin):
+        from repro.core.errors import AccessDenied
+
+        monitor = ReferenceMonitor(strict=True)
+        principal = make_context(origin, 3)
+        target = make_context(origin, 0)
+        with pytest.raises(AccessDenied):
+            monitor.authorize(principal, target, "read")
+        with pytest.raises(AccessDenied):  # cached denial must still raise
+            monitor.authorize(principal, target, "read")
+        assert monitor.cache_info().hits == 1
+
+
+class TestDecisionCacheUnit:
+    def test_eviction_respects_maxsize(self):
+        cache = DecisionCache(maxsize=2)
+        cache.put("a", "decision-a")
+        cache.put("b", "decision-b")
+        cache.put("c", "decision-c")
+        assert len(cache) == 2
+        assert "a" not in cache and "c" in cache
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            DecisionCache(maxsize=0)
+
+    def test_info_snapshot(self):
+        cache = DecisionCache(maxsize=8)
+        cache.get("missing")
+        cache.put("k", "v")
+        cache.get("k")
+        info = cache.info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+        assert info.lookups == 2
+        assert info.hit_rate == pytest.approx(0.5)
+        assert info.as_dict()["maxsize"] == 8

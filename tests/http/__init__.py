@@ -1,0 +1,1 @@
+"""Test package marker: enables absolute/relative imports across the suite."""
