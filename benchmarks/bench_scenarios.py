@@ -1,0 +1,37 @@
+"""Scenario-engine throughput: N seeded multi-user sessions x policy matrix.
+
+Runs the differential scenario workload end to end (generation, per-model
+execution, oracle classification), asserts the paper's differential claim
+holds at fuzzing scale, and writes the throughput artifact
+``benchmarks/results/BENCH_scenarios.json`` (scenarios/s, mediations/s,
+decision-cache hit rate) that the CI ``scenarios`` job uploads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import SCENARIO_RESULTS_NAME, measure_scenarios, write_scenario_report
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Fixed workload so runs are comparable across commits.
+SEED = 42
+COUNT = 25
+ATTACK_RATIO = 0.25
+
+
+def test_scenario_engine_throughput(benchmark, report_writer):
+    """Time the whole engine and certify the differential invariant."""
+    suite = benchmark.pedantic(
+        lambda: measure_scenarios(seed=SEED, count=COUNT, attack_ratio=ATTACK_RATIO),
+        rounds=1,
+        iterations=1,
+    )
+    assert suite.ok, suite.summary()
+    assert suite.benign_count + suite.attack_count == COUNT
+    assert suite.attack_count > 0, "the fixed seed must exercise attack injection"
+    assert suite.mediations > 0, "scenario execution must be mediated"
+
+    path = write_scenario_report(suite, RESULTS_DIR / SCENARIO_RESULTS_NAME)
+    report_writer("scenario_throughput", suite.summary() + f"\n[json artifact: {path}]")

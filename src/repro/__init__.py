@@ -9,6 +9,8 @@ The package layout mirrors the system inventory in ``DESIGN.md``:
 * :mod:`repro.webapps` -- the server-side framework and the phpBB /
   PHP-Calendar / blog case studies;
 * :mod:`repro.attacks` -- the XSS / CSRF / node-splitting attack corpus;
+* :mod:`repro.scenarios` -- the differential scenario engine (randomized
+  multi-user sessions under a policy matrix, with a parity oracle);
 * :mod:`repro.bench` -- workload generators and reporting for the
   benchmark harness.
 

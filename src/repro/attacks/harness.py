@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.browser.browser import Browser, LoadedPage
+from repro.core.origin import Origin
 from repro.http.network import Network
 from repro.webapps.blog import Blog
 from repro.webapps.framework import WebApplication
@@ -27,8 +28,80 @@ from repro.webapps.phpcalendar import PhpCalendar
 
 from .attacker import AttackerSite
 
-#: Application keys accepted by the harness.
+#: The built-in application keys (kept for backwards compatibility; the live
+#: set is :func:`app_keys`, which reflects runtime registrations too).
 APP_KEYS = ("phpbb", "phpcalendar", "blog")
+
+#: Factory registry: app key -> callable(**kwargs) -> WebApplication.
+#: Scenario-driven applications plug in here via :func:`register_application`
+#: instead of editing this module.
+_APP_FACTORIES: dict[str, Callable[..., WebApplication]] = {
+    "phpbb": PhpBB,
+    "phpcalendar": PhpCalendar,
+    "blog": Blog,
+}
+
+
+def register_application(key: str, factory: Callable[..., WebApplication], *, replace: bool = False) -> None:
+    """Register an application factory under ``key``.
+
+    ``factory`` must accept the harness keyword flags (``escudo_enabled``,
+    ``input_validation``, ``csrf_protection``) the way the built-in
+    applications do.  Re-registering an existing key requires ``replace=True``
+    so accidental shadowing of the paper's case studies fails loudly.
+    """
+    if not key:
+        raise ValueError("application key must be non-empty")
+    if key in _APP_FACTORIES and not replace:
+        raise ValueError(f"application key {key!r} is already registered (pass replace=True to override)")
+    _APP_FACTORIES[key] = factory
+
+
+def unregister_application(key: str) -> None:
+    """Remove a registered application (built-ins included -- use with care)."""
+    _APP_FACTORIES.pop(key, None)
+
+
+def app_keys() -> tuple[str, ...]:
+    """Every currently registered application key, registration order."""
+    return tuple(_APP_FACTORIES)
+
+
+#: Attack-corpus registry: callables returning lists of :class:`Attack`.
+#: Scenario-driven corpora plug in here via :func:`register_attack_factory`.
+_ATTACK_FACTORIES: list[Callable[[], "list[Attack]"]] = []
+
+
+def register_attack_factory(factory: Callable[[], "list[Attack]"]) -> None:
+    """Add a corpus factory whose attacks :func:`registered_attacks` includes."""
+    _ATTACK_FACTORIES.append(factory)
+
+
+def unregister_attack_factory(factory: Callable[[], "list[Attack]"]) -> None:
+    """Remove a previously registered corpus factory."""
+    if factory in _ATTACK_FACTORIES:
+        _ATTACK_FACTORIES.remove(factory)
+
+
+def registered_attacks() -> "list[Attack]":
+    """The full attack corpus: built-in modules plus runtime registrations.
+
+    Imported lazily to avoid a cycle (the corpus modules import this one).
+    """
+    from .csrf import all_csrf_attacks
+    from .node_splitting import all_node_splitting_attacks
+    from .privilege_escalation import all_privilege_escalation_attacks
+    from .xss import all_xss_attacks
+
+    corpus = (
+        all_xss_attacks()
+        + all_csrf_attacks()
+        + all_node_splitting_attacks()
+        + all_privilege_escalation_attacks()
+    )
+    for factory in _ATTACK_FACTORIES:
+        corpus.extend(factory())
+    return corpus
 
 
 @dataclass
@@ -55,19 +128,30 @@ class AttackEnvironment:
         return self.victim_session_id
 
     def forged_requests_with_session(self) -> list:
-        """Requests to the target initiated by attacker-controlled content
-        that carried the victim's session cookie.
+        """*Cross-site* requests to the target that carried the victim's
+        session cookie.
 
         This is the paper's CSRF success criterion: the browser attached the
-        session cookie to a request the victim never intended.
+        session cookie to a request the victim never intended.  A request is
+        forged when it was issued by page content (not the user) **and** the
+        issuing page belongs to a different origin than the target -- the
+        application's own trusted requests (its XHR pollers, its forms
+        submitted on its own pages) are the victim's intended traffic, no
+        matter how the session cookie got attached.
         """
         if self.victim_session_id is None:
             return []
+        from repro.http.url import Url
+
+        app_origin = Origin.parse(self.app.origin)
         cookie_name = self.app.session_cookie_name
         matches = []
         for record in self.network.requests_to(self.app.origin):
             if record.initiator == "user":
                 continue
+            page_text = record.request.initiator_page
+            if page_text and Url.parse(page_text).origin == app_origin:
+                continue  # same-site: the application's own content
             if record.cookies_sent.get(cookie_name) == self.victim_session_id:
                 matches.append(record)
         return matches
@@ -98,13 +182,10 @@ def make_application(app_key: str, *, escudo_enabled: bool = True, **kwargs) -> 
     """
     kwargs.setdefault("input_validation", False)
     kwargs.setdefault("csrf_protection", False)
-    if app_key == "phpbb":
-        return PhpBB(escudo_enabled=escudo_enabled, **kwargs)
-    if app_key == "phpcalendar":
-        return PhpCalendar(escudo_enabled=escudo_enabled, **kwargs)
-    if app_key == "blog":
-        return Blog(escudo_enabled=escudo_enabled, **kwargs)
-    raise ValueError(f"unknown application key {app_key!r}; expected one of {APP_KEYS}")
+    factory = _APP_FACTORIES.get(app_key)
+    if factory is None:
+        raise ValueError(f"unknown application key {app_key!r}; expected one of {app_keys()}")
+    return factory(escudo_enabled=escudo_enabled, **kwargs)
 
 
 def build_environment(
@@ -124,12 +205,31 @@ def build_environment(
     return AttackEnvironment(model=model, network=network, app=app, attacker=attacker, browser=browser)
 
 
+def login_user(
+    browser: Browser,
+    app: WebApplication,
+    username: str,
+    *,
+    login_path: str = "/",
+    form_id: str = "login-form",
+) -> str | None:
+    """Log ``username`` into ``app`` through ``browser``'s login form.
+
+    The shared login choreography for the attack corpus and the scenario
+    engine (one definition, so both always exercise the same flow).  Returns
+    the new session id, or ``None`` when the login did not take.
+    """
+    loaded = browser.load(f"{app.origin}{login_path}")
+    browser.submit_form(loaded, form_id, {"username": username}, as_user=True)
+    sessions = app.sessions.sessions_for(username)
+    return sessions[-1].session_id if sessions else None
+
+
 def login_victim(env: AttackEnvironment, *, login_path: str = "/", form_id: str = "login-form") -> None:
     """Log the victim into the target application in their own browser."""
-    loaded = env.browser.load(f"{env.app.origin}{login_path}")
-    env.browser.submit_form(loaded, form_id, {"username": env.victim}, as_user=True)
-    sessions = env.app.sessions.sessions_for(env.victim)
-    env.victim_session_id = sessions[-1].session_id if sessions else None
+    env.victim_session_id = login_user(
+        env.browser, env.app, env.victim, login_path=login_path, form_id=form_id
+    )
 
 
 def visit(env: AttackEnvironment, path: str) -> LoadedPage:
@@ -171,15 +271,28 @@ class Attack:
         env = build_environment(self.app_key, model, escudo_app=escudo_app)
         if self.requires_login:
             login_victim(env)
+        return self.execute_in(env)
+
+    def execute_in(self, env: AttackEnvironment) -> AttackResult:
+        """Run plant + victim action against a pre-built environment.
+
+        The scenario engine uses this entry point: the environment may already
+        have hosted a whole multi-user session (other actors posting and
+        browsing) before the attack is injected into it.  The caller is
+        responsible for any required login choreography.
+        """
         self.plant(env)
         self.victim_action(env)
-        success = bool(self.succeeded(env))
+        return self.classify(env)
+
+    def classify(self, env: AttackEnvironment) -> AttackResult:
+        """Evaluate the success predicate and wrap the outcome."""
         return AttackResult(
             attack_name=self.name,
             app_key=self.app_key,
             category=self.category,
-            model=model,
-            succeeded=success,
+            model=env.model,
+            succeeded=bool(self.succeeded(env)),
             detail=self.description,
         )
 

@@ -1,5 +1,10 @@
 """Benchmark support: Figure-4 workloads, timing loops and report formatting."""
 
+from .scenario_bench import (
+    SCENARIO_RESULTS_NAME,
+    measure_scenarios,
+    write_scenario_report,
+)
 from .reporting import (
     format_defense_matrix,
     format_figure4,
@@ -39,6 +44,7 @@ __all__ = [
     "MediationSpec",
     "OverheadRow",
     "SCENARIOS",
+    "SCENARIO_RESULTS_NAME",
     "ScenarioSpec",
     "TimingSample",
     "Workload",
@@ -54,8 +60,10 @@ __all__ = [
     "measure_all",
     "measure_mediation",
     "measure_page_mediation",
+    "measure_scenarios",
     "measure_workload",
     "parse_and_render",
     "time_callable",
     "workload_by_name",
+    "write_scenario_report",
 ]

@@ -84,6 +84,24 @@ class Browser:
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
 
+    # -- tabs -------------------------------------------------------------------------
+
+    @property
+    def tabs(self) -> list[LoadedPage]:
+        """Every page this browser has loaded, oldest first (its open tabs).
+
+        The scenario engine replays one session spec across protection
+        models and addresses earlier pages by tab index, so the loaded list
+        doubles as the browser's tab strip.
+        """
+        return self.loaded
+
+    def tab(self, index: int = -1) -> LoadedPage:
+        """One open tab by index (``-1`` is the most recent)."""
+        if not self.loaded:
+            raise IndexError("browser has no open tabs")
+        return self.loaded[index]
+
     # -- top-level navigation ---------------------------------------------------------
 
     def load(self, url: Url | str, *, method: str = "GET", form: dict[str, str] | None = None) -> LoadedPage:
@@ -160,6 +178,7 @@ class Browser:
             body=body,
             headers=Headers(headers) if headers is not None else Headers(),
             initiator=initiator_label,
+            initiator_page=str(page.url),
         )
         eligible = self.cookie_jar.cookies_for(url.origin, url.path)
         if self.model == "sop":

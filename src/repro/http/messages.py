@@ -39,8 +39,11 @@ class HttpRequest:
 
     ``initiator`` records a description of the principal that caused the
     request (an ``img`` tag, a form submission, an ``XMLHttpRequest`` call,
-    or the user typing a URL); the network log uses it so the CSRF
-    experiments can attribute requests.  It has no effect on routing.
+    or the user typing a URL); ``initiator_page`` records the URL of the
+    page whose content issued it (empty for user navigations).  The network
+    log uses both so the CSRF experiments can attribute requests -- in
+    particular, whether a request was issued *cross-site*.  Neither affects
+    routing.
     """
 
     method: str
@@ -49,6 +52,7 @@ class HttpRequest:
     body: str = ""
     form: dict[str, str] = field(default_factory=dict)
     initiator: str = "user"
+    initiator_page: str = ""
 
     def __post_init__(self) -> None:
         self.method = self.method.upper()

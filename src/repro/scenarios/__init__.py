@@ -1,0 +1,55 @@
+"""Differential scenario engine.
+
+Randomized multi-user, multi-tab browsing sessions -- with optional attack
+injections from the :mod:`repro.attacks` corpus -- executed under a policy
+matrix (``escudo`` / ``sop`` / ``none``) and checked by a differential
+oracle: benign sessions must be state-transparent across models, attacks
+must be blocked exactly under ESCUDO, and every denial must be attributable
+to a mediation decision in the audit log.
+
+Quickstart::
+
+    from repro.scenarios import run_suite
+    result = run_suite(seed=42, count=50)
+    assert result.ok, result.summary()
+
+Or from the command line::
+
+    python -m repro.scenarios --seed 42 --count 100 --matrix escudo,sop,none
+"""
+
+from .engine import SuiteResult, run_suite
+from .generator import ScenarioGenerator, attack_by_name, attack_corpus
+from .model import (
+    ACTIONS,
+    MODEL_MATRIX,
+    Actor,
+    ModelSpec,
+    Scenario,
+    Step,
+    make_step,
+    resolve_models,
+)
+from .oracle import DifferentialOracle, Verdict
+from .runner import DenialRecord, ScenarioRun, ScenarioRunner
+
+__all__ = [
+    "ACTIONS",
+    "Actor",
+    "DenialRecord",
+    "DifferentialOracle",
+    "MODEL_MATRIX",
+    "ModelSpec",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioRun",
+    "ScenarioRunner",
+    "Step",
+    "SuiteResult",
+    "Verdict",
+    "attack_by_name",
+    "attack_corpus",
+    "make_step",
+    "resolve_models",
+    "run_suite",
+]

@@ -1,0 +1,116 @@
+"""CLI for the differential scenario engine.
+
+Examples::
+
+    # the acceptance run: 100 seeded scenarios across the full matrix
+    python -m repro.scenarios --seed 42 --count 100 --matrix escudo,sop,none
+
+    # replay one failing scenario by its token and dump its spec
+    python -m repro.scenarios --replay 42:17 --spec
+
+Exit status is non-zero when any scenario violates its invariant.  Every
+*suite* run also writes the throughput artifact (``BENCH_scenarios.json``)
+unless ``--bench-out ''`` disables it; ``--replay`` runs a single scenario
+and writes no artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import run_suite
+from .generator import ScenarioGenerator
+from .oracle import DifferentialOracle
+from .runner import ScenarioRunner
+
+DEFAULT_BENCH_OUT = "benchmarks/results/BENCH_scenarios.json"
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run randomized multi-user scenarios under a policy matrix "
+        "and check the protected-vs-unprotected differential.",
+    )
+    parser.add_argument("--seed", default="42", help="suite seed (default: 42)")
+    parser.add_argument("--count", type=int, default=100, help="number of scenarios (default: 100)")
+    parser.add_argument(
+        "--matrix",
+        default="escudo,sop,none",
+        help="comma-separated protection models (default: escudo,sop,none)",
+    )
+    parser.add_argument(
+        "--attack-ratio",
+        type=float,
+        default=0.25,
+        help="seeded probability a scenario embeds an attack (default: 0.25)",
+    )
+    parser.add_argument(
+        "--replay",
+        default="",
+        metavar="SEED:INDEX",
+        help="re-run a single scenario from its replay token instead of a suite",
+    )
+    parser.add_argument("--spec", action="store_true", help="with --replay: print the scenario spec JSON")
+    parser.add_argument(
+        "--bench-out",
+        default=DEFAULT_BENCH_OUT,
+        help="where suite runs write the throughput JSON "
+        f"(default: {DEFAULT_BENCH_OUT}; '' disables; unused with --replay)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the full report as JSON")
+    return parser.parse_args(argv)
+
+
+def _replay_one(args: argparse.Namespace) -> int:
+    from .generator import parse_replay_token
+
+    seed_text, _, _ = parse_replay_token(args.replay)
+    generator = ScenarioGenerator(seed=seed_text, attack_ratio=args.attack_ratio)
+    scenario = generator.replay(args.replay)
+    if args.spec:
+        print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
+    runner = ScenarioRunner(models=args.matrix)
+    runs = runner.run(scenario)
+    verdict = DifferentialOracle().classify(scenario, runs)
+    status = "ok" if verdict.ok else "FAIL"
+    print(f"[{status}] {scenario.name} ({scenario.kind}): {verdict.reason}")
+    for model, run in runs.items():
+        print(
+            f"  {model:>6}: digest {run.digest[:12]} | {run.mediations} mediations "
+            f"({run.denied} denied) | {run.pages_loaded} pages"
+        )
+    return 0 if verdict.ok else 1
+
+
+def main(argv=None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    if args.replay:
+        return _replay_one(args)
+
+    result = run_suite(
+        seed=args.seed,
+        count=args.count,
+        models=args.matrix,
+        attack_ratio=args.attack_ratio,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+
+    if args.bench_out:
+        # One producer for the artifact: the bench layer's writer, so the CLI
+        # and benchmarks/bench_scenarios.py emit an identical schema.
+        from repro.bench.scenario_bench import write_scenario_report
+
+        path = write_scenario_report(result, Path(args.bench_out))
+        print(f"[throughput report written to {path}]")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The scenario engine facade: generate → run matrix → classify → aggregate.
+
+:func:`run_suite` is the one call behind the CLI (``python -m
+repro.scenarios``), the fuzz tests and the throughput benchmark: it streams
+``count`` seeded scenarios through the :class:`ScenarioRunner` under the
+requested policy matrix, feeds every result to the
+:class:`DifferentialOracle`, and aggregates wall-clock + mediation
+statistics into a JSON-serialisable :class:`SuiteResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .generator import ScenarioGenerator
+from .oracle import DifferentialOracle, Verdict
+from .runner import ScenarioRunner
+
+
+@dataclass
+class SuiteResult:
+    """Outcome and statistics of one scenario-suite run."""
+
+    seed: int | str
+    count: int
+    models: tuple[str, ...]
+    #: The generator's attack ratio -- part of a replay token's context.
+    attack_ratio: float = 0.0
+    verdicts: list[Verdict] = field(default_factory=list)
+    duration_s: float = 0.0
+    mediations: int = 0
+    denied: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    pages_loaded: int = 0
+
+    @property
+    def failures(self) -> list[Verdict]:
+        """Every verdict the oracle rejected."""
+        return [v for v in self.verdicts if not v.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario satisfied its invariant."""
+        return not self.failures
+
+    @property
+    def benign_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.kind == "benign")
+
+    @property
+    def attack_count(self) -> int:
+        return sum(1 for v in self.verdicts if v.kind == "attack")
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """End-to-end scenario throughput (each scenario runs the full matrix)."""
+        return len(self.verdicts) / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def mediations_per_second(self) -> float:
+        """Reference-monitor throughput summed over every page of every run."""
+        return self.mediations / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Decision-cache hit rate aggregated over the whole suite."""
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """The ``BENCH_scenarios.json`` payload."""
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "models": list(self.models),
+            "attack_ratio": self.attack_ratio,
+            "ok": self.ok,
+            "benign": self.benign_count,
+            "attacks": self.attack_count,
+            "failures": [v.as_dict() for v in self.failures],
+            "duration_s": self.duration_s,
+            "scenarios_per_second": self.scenarios_per_second,
+            "mediations": self.mediations,
+            "mediations_per_second": self.mediations_per_second,
+            "denied": self.denied,
+            "cache_hit_rate": self.cache_hit_rate,
+            "pages_loaded": self.pages_loaded,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"scenario suite: seed={self.seed} count={self.count} "
+            f"matrix={','.join(self.models)}",
+            f"  benign: {self.benign_count}  attacks: {self.attack_count}  "
+            f"failures: {len(self.failures)}",
+            f"  {self.scenarios_per_second:,.1f} scenarios/s | "
+            f"{self.mediations_per_second:,.0f} mediations/s | "
+            f"cache hit rate {self.cache_hit_rate * 100.0:.1f}% | "
+            f"{self.pages_loaded} pages in {self.duration_s:.2f}s",
+        ]
+        for verdict in self.failures:
+            lines.append(f"  FAIL [{verdict.replay or verdict.scenario}] {verdict.reason}")
+            if verdict.replay:
+                # Replay tokens are only meaningful under the same generator
+                # configuration, so spell the full command out.
+                lines.append(
+                    f"    reproduce: python -m repro.scenarios --replay {verdict.replay} "
+                    f"--attack-ratio {self.attack_ratio} --spec"
+                )
+        if self.ok:
+            lines.append("  all scenarios satisfied the differential invariant")
+        return "\n".join(lines)
+
+
+def run_suite(
+    *,
+    seed: int | str = 42,
+    count: int = 100,
+    models=("escudo", "sop", "none"),
+    attack_ratio: float = 0.25,
+    generator: ScenarioGenerator | None = None,
+    runner: ScenarioRunner | None = None,
+    oracle: DifferentialOracle | None = None,
+) -> SuiteResult:
+    """Generate and differentially check ``count`` scenarios."""
+    generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
+    runner = runner or ScenarioRunner(models=models)
+    oracle = oracle or DifferentialOracle()
+    model_names = tuple(spec.name for spec in runner.specs)
+    result = SuiteResult(
+        seed=generator.seed,
+        count=count,
+        models=model_names,
+        attack_ratio=generator.attack_ratio,
+    )
+
+    start = time.perf_counter()
+    for index in range(count):
+        scenario = generator.scenario(index)
+        runs = runner.run(scenario)
+        result.verdicts.append(oracle.classify(scenario, runs))
+        for run in runs.values():
+            result.mediations += run.mediations
+            result.denied += run.denied
+            result.cache_hits += run.cache_hits
+            result.cache_lookups += run.cache_lookups
+            result.pages_loaded += run.pages_loaded
+    result.duration_s = time.perf_counter() - start
+    return result

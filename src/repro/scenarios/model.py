@@ -1,0 +1,225 @@
+"""The declarative scenario model.
+
+A *scenario* is a small, serialisable script of a multi-user browsing
+session: a set of actors (victims, bystanders, an attacker), an ordered list
+of steps each actor performs (log in, post, browse, click, fire an XHR), and
+-- for attack scenarios -- an injection point referencing an attack from the
+:mod:`repro.attacks` corpus.
+
+Scenarios are *data*, not code: they can be generated randomly from a seed
+(:mod:`repro.scenarios.generator`), executed under any protection model
+(:mod:`repro.scenarios.runner`), serialised to a dict for replay, and pinned
+verbatim into regression tests when a fuzzing run finds a divergence.
+
+The *policy matrix* lives here too: every scenario can be executed under
+
+* ``escudo`` -- ESCUDO-configured application, ESCUDO-enforcing browser;
+* ``sop``    -- the same ESCUDO-configured application viewed through a
+  legacy same-origin-policy browser (headers and AC tags are ignored);
+* ``none``   -- the application rendered without any ESCUDO markup at all,
+  viewed through the legacy browser.
+
+The differential oracle (:mod:`repro.scenarios.oracle`) compares the runs:
+benign scenarios must leave byte-identical application state everywhere
+(protection is transparent), attacks must be blocked exactly under
+``escudo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One column of the policy matrix."""
+
+    name: str
+    #: Protection model the victim-side browsers enforce.
+    browser_model: str
+    #: Whether the server application emits ESCUDO headers and AC tags.
+    escudo_app: bool
+
+    @property
+    def protected(self) -> bool:
+        """True when this column enforces the full ESCUDO policy."""
+        return self.browser_model == "escudo"
+
+
+#: The three standard columns of the differential experiment.
+MODEL_MATRIX: dict[str, ModelSpec] = {
+    "escudo": ModelSpec(name="escudo", browser_model="escudo", escudo_app=True),
+    "sop": ModelSpec(name="sop", browser_model="sop", escudo_app=True),
+    "none": ModelSpec(name="none", browser_model="sop", escudo_app=False),
+}
+
+
+def resolve_models(names) -> tuple[ModelSpec, ...]:
+    """Turn model names (or a comma-separated string) into specs."""
+    if isinstance(names, str):
+        names = [part.strip() for part in names.split(",") if part.strip()]
+    specs = []
+    for name in names:
+        spec = MODEL_MATRIX.get(name)
+        if spec is None:
+            raise ValueError(f"unknown protection model {name!r}; expected one of {sorted(MODEL_MATRIX)}")
+        specs.append(spec)
+    if not specs:
+        raise ValueError("the policy matrix needs at least one model")
+    return tuple(specs)
+
+
+#: Actor roles.
+ROLE_VICTIM = "victim"
+ROLE_BYSTANDER = "bystander"
+ROLE_ATTACKER = "attacker"
+
+
+@dataclass(frozen=True)
+class Actor:
+    """One user participating in a scenario (one browser profile each)."""
+
+    name: str
+    role: str = ROLE_BYSTANDER
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "role": self.role}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Actor":
+        return cls(name=data["name"], role=data.get("role", ROLE_BYSTANDER))
+
+
+#: Actions understood by the runner.  ``attack_plant`` / ``attack_victim``
+#: are only valid in attack scenarios and delegate to the referenced attack.
+ACTIONS = (
+    "login",        # {username?} -- submit the index login form
+    "visit",        # {path}      -- open a new tab on the target application
+    "post_topic",   # {subject, message}            (phpbb)
+    "reply",        # {topic, message}              (phpbb)
+    "send_pm",      # {to, subject, body}           (phpbb, logged in)
+    "click_topic",  # {topic}                       (phpbb)
+    "create_event", # {date, title, description}    (phpcalendar, logged in)
+    "comment",      # {post, author, body}          (blog)
+    "xhr_get",      # {path}      -- ad-hoc script issues a read-only XHR
+    "attack_plant",
+    "attack_victim",
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One action by one actor.
+
+    ``tab`` is only meaningful for ``xhr_get`` (the one action that acts on
+    an already-open tab): an index into the actor's open-tab list (the
+    browser's ``loaded`` list), ``-1`` meaning the most recent tab.  Every
+    other action opens its own tab; the runner rejects specs that set ``tab``
+    on them.
+    """
+
+    actor: str
+    action: str
+    params: tuple[tuple[str, str], ...] = ()
+    tab: int = -1
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown scenario action {self.action!r}")
+
+    def param(self, name: str, default: str = "") -> str:
+        """Single parameter with a default."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        data: dict = {"actor": self.actor, "action": self.action, "params": dict(self.params)}
+        if self.tab != -1:
+            data["tab"] = self.tab
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Step":
+        return cls(
+            actor=data["actor"],
+            action=data["action"],
+            params=tuple(sorted((str(k), str(v)) for k, v in data.get("params", {}).items())),
+            tab=int(data.get("tab", -1)),
+        )
+
+
+def make_step(actor: str, action: str, *, tab: int = -1, **params: object) -> Step:
+    """Build a step with keyword parameters (sorted for determinism)."""
+    return Step(
+        actor=actor,
+        action=action,
+        params=tuple(sorted((key, str(value)) for key, value in params.items())),
+        tab=tab,
+    )
+
+
+@dataclass
+class Scenario:
+    """One complete, replayable multi-user session."""
+
+    name: str
+    app_key: str
+    kind: str  # "benign" | "attack"
+    actors: list[Actor] = field(default_factory=list)
+    steps: list[Step] = field(default_factory=list)
+    #: Replay token ``"<seed>:<index>"`` when generated; "" for hand-written.
+    replay: str = ""
+    #: Name of the injected attack (attack scenarios only).
+    attack_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("benign", "attack"):
+            raise ValueError(f"scenario kind must be 'benign' or 'attack', not {self.kind!r}")
+        if self.kind == "attack" and not self.attack_name:
+            raise ValueError("attack scenarios must reference an attack by name")
+
+    @property
+    def victim(self) -> Actor:
+        """The designated victim (first victim-role actor, else the first actor)."""
+        for actor in self.actors:
+            if actor.role == ROLE_VICTIM:
+                return actor
+        if not self.actors:
+            raise ValueError(f"scenario {self.name!r} has no actors")
+        return self.actors[0]
+
+    def actor(self, name: str) -> Actor:
+        """Look an actor up by name."""
+        for actor in self.actors:
+            if actor.name == name:
+                return actor
+        raise KeyError(f"scenario {self.name!r} has no actor {name!r}")
+
+    def to_dict(self) -> dict:
+        """Serialise for replay files and pinned regression tests."""
+        data: dict = {
+            "name": self.name,
+            "app_key": self.app_key,
+            "kind": self.kind,
+            "actors": [actor.to_dict() for actor in self.actors],
+            "steps": [step.to_dict() for step in self.steps],
+        }
+        if self.replay:
+            data["replay"] = self.replay
+        if self.attack_name:
+            data["attack_name"] = self.attack_name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            name=data["name"],
+            app_key=data["app_key"],
+            kind=data["kind"],
+            actors=[Actor.from_dict(entry) for entry in data.get("actors", [])],
+            steps=[Step.from_dict(entry) for entry in data.get("steps", [])],
+            replay=data.get("replay", ""),
+            attack_name=data.get("attack_name"),
+        )

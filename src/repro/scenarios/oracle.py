@@ -1,0 +1,149 @@
+"""The differential oracle: classify a scenario's runs across the matrix.
+
+The paper's core claim (Section 6.4) turned into an executable invariant:
+
+* **Transparency** -- a *benign* scenario must leave byte-identical
+  application-visible state under every protection model.  ESCUDO mediation
+  may deny accesses along the way, but a well-behaved session never notices.
+* **Differential defense** -- an *attack* scenario must be **blocked** under
+  ``escudo`` and **succeed** under every legacy column (``sop`` / ``none``),
+  reproducing the protected-vs-unprotected differential at fuzzing scale.
+* **Attributability** -- every blocked attack must be explainable: at least
+  one denial recorded in the victim browser's audit logs since the attack
+  was planted, carrying the specific policy rule that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import Scenario
+from .runner import ScenarioRun
+
+
+@dataclass
+class Verdict:
+    """The oracle's classification of one scenario across the matrix."""
+
+    scenario: str
+    kind: str
+    ok: bool
+    reason: str
+    replay: str = ""
+    runs: dict[str, ScenarioRun] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Compact serialisation for reports."""
+        data: dict = {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "ok": self.ok,
+            "reason": self.reason,
+        }
+        if self.replay:
+            data["replay"] = self.replay
+        return data
+
+
+def _snapshot_divergence(runs: dict[str, ScenarioRun]) -> str:
+    """Human-readable pointer at the first differing snapshot key."""
+    models = list(runs)
+    reference = runs[models[0]].snapshot
+    for model in models[1:]:
+        other = runs[model].snapshot
+        for key in sorted(set(reference) | set(other)):
+            if reference.get(key) != other.get(key):
+                return (
+                    f"state diverges between {models[0]!r} and {model!r} at {key!r}: "
+                    f"{reference.get(key)!r} != {other.get(key)!r}"
+                )
+    return "state digests differ"
+
+
+class DifferentialOracle:
+    """Classifies scenario runs; ``protected`` names the enforcing column."""
+
+    def __init__(self, protected: str = "escudo") -> None:
+        self.protected = protected
+
+    def classify(self, scenario: Scenario, runs: dict[str, ScenarioRun]) -> Verdict:
+        """Apply the invariant matching ``scenario.kind`` to ``runs``."""
+        if not runs:
+            raise ValueError("cannot classify a scenario with no runs")
+        if scenario.kind == "benign":
+            return self._classify_benign(scenario, runs)
+        return self._classify_attack(scenario, runs)
+
+    # -- benign: transparency ----------------------------------------------------------------
+
+    def _classify_benign(self, scenario: Scenario, runs: dict[str, ScenarioRun]) -> Verdict:
+        digests = {model: run.digest for model, run in runs.items()}
+        if len(set(digests.values())) == 1:
+            return Verdict(
+                scenario=scenario.name,
+                kind="benign",
+                ok=True,
+                reason=f"transparent: identical state digest {next(iter(digests.values()))[:12]} "
+                f"across {sorted(digests)}",
+                replay=scenario.replay,
+                runs=runs,
+            )
+        return Verdict(
+            scenario=scenario.name,
+            kind="benign",
+            ok=False,
+            reason=f"TRANSPARENCY VIOLATION: digests {digests}; {_snapshot_divergence(runs)}",
+            replay=scenario.replay,
+            runs=runs,
+        )
+
+    # -- attack: differential + attribution -------------------------------------------------------
+
+    def _classify_attack(self, scenario: Scenario, runs: dict[str, ScenarioRun]) -> Verdict:
+        problems: list[str] = []
+        if self.protected not in runs:
+            problems.append(
+                f"{self.protected}: not in the matrix -- the blocked-under-"
+                f"{self.protected} half of the invariant was never checked"
+            )
+        for model, run in runs.items():
+            if run.attack_result is None:
+                problems.append(f"{model}: attack was never executed")
+                continue
+            if model == self.protected:
+                if run.attack_result.succeeded:
+                    problems.append(f"{model}: attack SUCCEEDED (must be blocked)")
+                elif not run.attack_denials:
+                    problems.append(
+                        f"{model}: attack blocked but no denial in the audit log attributes it"
+                    )
+                elif all(d.rule == "" for d in run.attack_denials):
+                    problems.append(f"{model}: denials carry no policy rule")
+            else:
+                if not run.attack_result.succeeded:
+                    problems.append(f"{model}: attack NEUTRALIZED (must succeed unprotected)")
+        if problems:
+            return Verdict(
+                scenario=scenario.name,
+                kind="attack",
+                ok=False,
+                reason="DIFFERENTIAL VIOLATION: " + "; ".join(problems),
+                replay=scenario.replay,
+                runs=runs,
+            )
+        protected_run = runs.get(self.protected)
+        attribution = ""
+        if protected_run is not None and protected_run.attack_denials:
+            first = protected_run.attack_denials[0]
+            attribution = (
+                f"; blocked by rule {first.rule!r} ({first.operation} "
+                f"{first.principal} -> {first.object})"
+            )
+        return Verdict(
+            scenario=scenario.name,
+            kind="attack",
+            ok=True,
+            reason=f"differential held for {scenario.attack_name}" + attribution,
+            replay=scenario.replay,
+            runs=runs,
+        )

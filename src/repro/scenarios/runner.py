@@ -1,0 +1,278 @@
+"""Scenario execution under one protection model (or a whole matrix).
+
+:class:`ScenarioRunner` replays one :class:`~repro.scenarios.model.Scenario`
+spec against each column of the policy matrix.  Per column it stands up a
+fresh :class:`~repro.attacks.harness.AttackEnvironment` (application +
+attacker site + in-process network), gives every actor their own browser
+profile, and drives the steps; attack steps delegate to the referenced
+attack's plant / victim-action callables, so the same corpus the Section 6.4
+experiments use is injected into the middle of a live multi-user session.
+
+Each run collects everything the differential oracle needs:
+
+* the application's deterministic state snapshot and digest (the
+  transparency check);
+* the attack outcome, when one was injected;
+* the *attributable denials*: every mediation denial recorded by the
+  victim's browser from the moment the attack was planted, each carrying the
+  policy rule that produced it (so a blocked attack can be traced to a
+  specific decision in the audit log);
+* aggregate mediation statistics (total mediations, denials, decision-cache
+  hits) for the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.harness import Attack, AttackEnvironment, AttackResult, build_environment, login_user
+from repro.browser.browser import Browser, LoadedPage
+
+from .generator import attack_by_name
+from .model import ModelSpec, Scenario, Step, resolve_models
+
+
+@dataclass(frozen=True)
+class DenialRecord:
+    """One mediation denial, attributable to a policy rule in the audit log."""
+
+    rule: str
+    operation: str
+    principal: str
+    object: str
+    page: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "operation": self.operation,
+            "principal": self.principal,
+            "object": self.object,
+            "page": self.page,
+        }
+
+
+@dataclass
+class ScenarioRun:
+    """Everything observed while executing one scenario under one model."""
+
+    scenario: str
+    model: str
+    digest: str
+    snapshot: dict
+    mediations: int = 0
+    denied: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    pages_loaded: int = 0
+    attack_result: AttackResult | None = None
+    #: Denials recorded by the victim's browser since the attack was planted.
+    attack_denials: list[DenialRecord] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Decision-cache hit rate aggregated over every page of the run."""
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+
+class ScenarioRunner:
+    """Executes scenarios under a policy matrix."""
+
+    def __init__(self, models=("escudo", "sop", "none")) -> None:
+        self.specs = resolve_models(models)
+
+    # -- matrix execution --------------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> dict[str, ScenarioRun]:
+        """Run ``scenario`` under every model of the matrix."""
+        # Resolve the injected attack once for the whole matrix (the corpus
+        # lookup rebuilds every attack definition).
+        attack = attack_by_name(scenario.attack_name) if scenario.attack_name else None
+        return {spec.name: self._run_with(scenario, spec, attack) for spec in self.specs}
+
+    def run_under(self, scenario: Scenario, model_name: str) -> ScenarioRun:
+        """Run ``scenario`` under one named model."""
+        spec = resolve_models((model_name,))[0]
+        attack = attack_by_name(scenario.attack_name) if scenario.attack_name else None
+        return self._run_with(scenario, spec, attack)
+
+    def _run_with(
+        self, scenario: Scenario, spec: ModelSpec, attack: Attack | None
+    ) -> ScenarioRun:
+        env = build_environment(
+            scenario.app_key, spec.browser_model, escudo_app=spec.escudo_app
+        )
+        env.victim = scenario.victim.name
+        browsers: dict[str, Browser] = {scenario.victim.name: env.browser}
+
+        attack_result: AttackResult | None = None
+        attack_denials: list[DenialRecord] = []
+        plant_baseline: dict[int, int] = {}
+        for step in scenario.steps:
+            if step.action == "attack_plant":
+                if attack is None:
+                    raise ValueError(f"scenario {scenario.name!r} has attack steps but no attack")
+                # Baseline the monotonic denial counters, not audit-log
+                # positions: the audit log is a bounded deque, so an index
+                # would drift as soon as eviction kicks in.
+                plant_baseline = {
+                    id(tab.page): tab.page.monitor.stats.denied for tab in env.browser.tabs
+                }
+                attack.plant(env)
+            elif step.action == "attack_victim":
+                if attack is None:
+                    raise ValueError(f"scenario {scenario.name!r} has attack steps but no attack")
+                attack.victim_action(env)
+                attack_result = attack.classify(env)
+                attack_denials = self._denials_since(env.browser, plant_baseline)
+            else:
+                self._execute(step, scenario, env, browsers, spec.browser_model)
+
+        run = ScenarioRun(
+            scenario=scenario.name,
+            model=spec.name,
+            digest=env.app.state_digest(),
+            snapshot=env.app.snapshot_state(),
+            attack_result=attack_result,
+            attack_denials=attack_denials,
+        )
+        for browser in browsers.values():
+            for tab in browser.tabs:
+                run.pages_loaded += 1
+                run.mediations += tab.page.monitor.stats.total
+                run.denied += tab.page.monitor.stats.denied
+                info = tab.page.monitor.cache_info()
+                if info is not None:
+                    run.cache_hits += info.hits
+                    run.cache_lookups += info.lookups
+        return run
+
+    # -- step execution -----------------------------------------------------------------
+
+    def _execute(
+        self,
+        step: Step,
+        scenario: Scenario,
+        env: AttackEnvironment,
+        browsers: dict[str, Browser],
+        browser_model: str,
+    ) -> None:
+        browser = browsers.get(step.actor)
+        if browser is None:
+            browser = Browser(env.network, model=browser_model)
+            browsers[step.actor] = browser
+        origin = env.app.origin
+        action = step.action
+        if step.tab != -1 and action != "xhr_get":
+            # Only xhr_get acts on an existing tab; every other action opens
+            # its own.  A spec that says otherwise is wrong -- fail loudly
+            # instead of replaying an interaction the spec never described.
+            raise ValueError(
+                f"step {action!r} does not act on a tab; remove tab={step.tab} from the spec"
+            )
+
+        if action == "login":
+            username = step.param("username", step.actor)
+            session_id = login_user(browser, env.app, username)
+            if step.actor == scenario.victim.name:
+                env.victim_session_id = session_id
+        elif action == "visit":
+            browser.load(f"{origin}{step.param('path', '/')}")
+        elif action == "post_topic":
+            loaded = browser.load(f"{origin}/")
+            browser.submit_form(
+                loaded,
+                "new-topic-form",
+                {"subject": step.param("subject"), "message": step.param("message")},
+                as_user=True,
+            )
+        elif action == "reply":
+            loaded = browser.load(f"{origin}/viewtopic?t={step.param('topic', '1')}")
+            browser.submit_form(loaded, "reply-form", {"message": step.param("message")}, as_user=True)
+        elif action == "send_pm":
+            loaded = browser.load(f"{origin}/privmsg")
+            browser.submit_form(
+                loaded,
+                "pm-form",
+                {"to": step.param("to"), "subject": step.param("subject"), "body": step.param("body")},
+                as_user=True,
+            )
+        elif action == "click_topic":
+            loaded = browser.load(f"{origin}/")
+            browser.click_link(loaded, f"topic-link-{step.param('topic', '1')}", as_user=True)
+        elif action == "create_event":
+            loaded = browser.load(f"{origin}/")
+            browser.submit_form(
+                loaded,
+                "create-form",
+                {
+                    "date": step.param("date"),
+                    "title": step.param("title"),
+                    "description": step.param("description"),
+                },
+                as_user=True,
+            )
+        elif action == "comment":
+            loaded = browser.load(f"{origin}/post?id={step.param('post', '1')}")
+            browser.submit_form(
+                loaded,
+                "comment-form",
+                {"author": step.param("author", step.actor), "body": step.param("body")},
+                as_user=True,
+            )
+        elif action == "xhr_get":
+            loaded = self._pick_tab(browser, step.tab) or browser.load(f"{origin}/")
+            path = step.param("path", "/")
+            source = f"var xhr = new XMLHttpRequest(); xhr.open('GET', '{path}'); xhr.send();"
+            browser.run_script(loaded, source, description=f"scenario xhr probe {path}")
+        else:  # pragma: no cover - the model validates actions up front
+            raise ValueError(f"unhandled scenario action {action!r}")
+
+    @staticmethod
+    def _pick_tab(browser: Browser, index: int) -> LoadedPage | None:
+        """The addressed tab, or ``None`` when the browser has no tabs yet.
+
+        An explicit out-of-range index is a spec error and fails loudly --
+        silently acting on a different tab would make the oracle's verdict
+        describe an interaction the spec never stated.
+        """
+        if not browser.tabs:
+            return None
+        if -len(browser.tabs) <= index < len(browser.tabs):
+            return browser.tab(index)
+        raise IndexError(
+            f"scenario step addresses tab {index}, but the actor's browser has "
+            f"only {len(browser.tabs)} open tab(s)"
+        )
+
+    # -- denial attribution ------------------------------------------------------------------
+
+    @staticmethod
+    def _denials_since(browser: Browser, baseline: dict[int, int]) -> list[DenialRecord]:
+        """Denials recorded by ``browser``'s pages after the plant baseline.
+
+        Pages opened after the baseline was taken (the lure page, the
+        poisoned application page) contribute every denial they recorded.
+        The baseline is the page's monotonic ``stats.denied`` counter; the
+        corresponding records are the *last* N denials retained in the
+        (bounded) audit log, which survives log eviction -- at worst the
+        oldest records are gone, never mis-attributed.
+        """
+        denials: list[DenialRecord] = []
+        for tab in browser.tabs:
+            monitor = tab.page.monitor
+            new_denied = monitor.stats.denied - baseline.get(id(tab.page), 0)
+            if new_denied <= 0:
+                continue
+            for decision in monitor.audit.denials()[-new_denied:]:
+                rule = decision.denying_rule
+                denials.append(
+                    DenialRecord(
+                        rule=rule.value if rule is not None else "",
+                        operation=decision.operation.value,
+                        principal=decision.principal_label,
+                        object=decision.object_label,
+                        page=str(tab.page.url),
+                    )
+                )
+        return denials

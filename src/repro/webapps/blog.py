@@ -129,6 +129,23 @@ class Blog(WebApplication):
         post.comments.append(comment)
         return comment
 
+    def snapshot_content(self) -> dict:
+        """Articles and their comments (the scenario oracle's view)."""
+        return {
+            "posts": [
+                {
+                    "id": post.post_id,
+                    "title": post.title,
+                    "body": post.body,
+                    "comments": [
+                        {"id": c.comment_id, "author": c.author, "body": c.body}
+                        for c in post.comments
+                    ],
+                }
+                for post in self.state.posts
+            ],
+        }
+
     # -- route handlers ----------------------------------------------------------------------------------
 
     def index(self, context: RequestContext) -> HttpResponse:

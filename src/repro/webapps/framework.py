@@ -18,6 +18,7 @@ paper's evaluation relies on:
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -174,6 +175,37 @@ class WebApplication:
             return ""
         token = self.csrf_token_for(context.session)
         return f'<input type="hidden" name="csrf_token" value="{token}">'
+
+    # -- state snapshots (the scenario engine's parity oracle) -------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deterministic, JSON-serialisable snapshot of application-visible state.
+
+        The scenario engine's transparency oracle compares these snapshots
+        across protection models: a benign session must leave byte-identical
+        state whether the browser enforced ESCUDO, the legacy SOP, or the
+        application emitted no ESCUDO markup at all.  Subclasses contribute
+        their domain state via :meth:`snapshot_content`; the base records the
+        session table (identifiers are deterministic per store seed, so they
+        are comparable across runs too).
+        """
+        return {
+            "app": self.name,
+            "origin": self.origin,
+            "sessions": sorted(
+                (session.username, session.session_id) for session in self.sessions.all()
+            ),
+            "content": self.snapshot_content(),
+        }
+
+    def snapshot_content(self) -> dict:
+        """Application-specific state; subclasses override."""
+        return {}
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON encoding of :meth:`snapshot_state`."""
+        canonical = json.dumps(self.snapshot_state(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     # -- misc ---------------------------------------------------------------------------------------
 

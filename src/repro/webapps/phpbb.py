@@ -189,6 +189,33 @@ class PhpBB(WebApplication):
         self.state.private_messages.append(message)
         return message
 
+    def snapshot_content(self) -> dict:
+        """Topics, posts and private messages (the scenario oracle's view)."""
+        return {
+            "topics": [
+                {
+                    "id": topic.topic_id,
+                    "title": topic.title,
+                    "author": topic.author,
+                    "posts": [
+                        {"id": post.post_id, "author": post.author, "body": post.body}
+                        for post in topic.posts
+                    ],
+                }
+                for topic in self.state.topics
+            ],
+            "private_messages": [
+                {
+                    "id": m.message_id,
+                    "sender": m.sender,
+                    "recipient": m.recipient,
+                    "subject": m.subject,
+                    "body": m.body,
+                }
+                for m in self.state.private_messages
+            ],
+        }
+
     # -- shared page scaffolding ----------------------------------------------------------------------
 
     def _page(self, title: str, context: RequestContext) -> EscudoPageTemplate:

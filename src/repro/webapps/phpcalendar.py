@@ -127,6 +127,21 @@ class PhpCalendar(WebApplication):
         self.state.events.append(event)
         return event
 
+    def snapshot_content(self) -> dict:
+        """Every calendar event (the scenario oracle's view)."""
+        return {
+            "events": [
+                {
+                    "id": event.event_id,
+                    "date": event.date,
+                    "title": event.title,
+                    "description": event.description,
+                    "author": event.author,
+                }
+                for event in self.state.events
+            ],
+        }
+
     # -- page scaffolding ----------------------------------------------------------------------------
 
     def _page(self, title: str, context: RequestContext) -> EscudoPageTemplate:

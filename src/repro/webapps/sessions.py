@@ -69,5 +69,9 @@ class SessionStore:
         """Every live session belonging to ``username``."""
         return [s for s in self._sessions.values() if s.username == username]
 
+    def all(self) -> list[Session]:
+        """Every live session, creation order."""
+        return list(self._sessions.values())
+
     def __len__(self) -> int:
         return len(self._sessions)

@@ -1,0 +1,86 @@
+"""Golden defense-effectiveness matrix (Section 6.4, locked per attack).
+
+The paper's Table-6-style result -- which attack succeeds under which
+protection model -- is pinned here attack by attack.  A regression in any
+attack implementation, policy rule or mediation path flips a cell and fails
+this test with a rendered table diff, instead of vanishing into an
+aggregate count.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import defense_effectiveness_matrix
+from repro.attacks.harness import registered_attacks
+from repro.bench import format_table
+
+#: The locked outcome table: attack name -> (under escudo, under sop).
+#: ``blocked`` means the defence held, ``succeeded`` means the attack worked.
+GOLDEN_MATRIX: dict[str, tuple[str, str]] = {
+    # XSS (four per application, Section 6.4)
+    "phpbb-xss-post-as-victim": ("blocked", "succeeded"),
+    "phpbb-xss-modify-existing-message": ("blocked", "succeeded"),
+    "phpbb-xss-steal-session-cookie": ("blocked", "succeeded"),
+    "phpbb-xss-deface-application-chrome": ("blocked", "succeeded"),
+    "phpcalendar-xss-create-event-as-victim": ("blocked", "succeeded"),
+    "phpcalendar-xss-modify-existing-event": ("blocked", "succeeded"),
+    "phpcalendar-xss-steal-session-cookie": ("blocked", "succeeded"),
+    "phpcalendar-xss-deface-application-chrome": ("blocked", "succeeded"),
+    # CSRF (five per application, Section 6.4)
+    "phpbb-csrf-img": ("blocked", "succeeded"),
+    "phpbb-csrf-iframe": ("blocked", "succeeded"),
+    "phpbb-csrf-xhr": ("blocked", "succeeded"),
+    "phpbb-csrf-form": ("blocked", "succeeded"),
+    "phpbb-csrf-link": ("blocked", "succeeded"),
+    "phpcalendar-csrf-img": ("blocked", "succeeded"),
+    "phpcalendar-csrf-iframe": ("blocked", "succeeded"),
+    "phpcalendar-csrf-xhr": ("blocked", "succeeded"),
+    "phpcalendar-csrf-form": ("blocked", "succeeded"),
+    "phpcalendar-csrf-link": ("blocked", "succeeded"),
+    # Section 5 attacks against the configuration itself
+    "phpbb-node-splitting": ("blocked", "succeeded"),
+    "phpbb-privilege-remap-own-ring": ("blocked", "succeeded"),
+    "phpbb-privilege-mint-child": ("blocked", "succeeded"),
+}
+
+
+def _outcome(succeeded: bool) -> str:
+    return "succeeded" if succeeded else "blocked"
+
+
+def _render_diff(observed: dict[str, tuple[str, str]]) -> str:
+    """A table showing only the cells that drifted from the golden matrix."""
+    rows = []
+    for name in sorted(set(GOLDEN_MATRIX) | set(observed)):
+        golden = GOLDEN_MATRIX.get(name, ("<missing>", "<missing>"))
+        actual = observed.get(name, ("<missing>", "<missing>"))
+        if golden != actual:
+            rows.append((name, golden[0], actual[0], golden[1], actual[1]))
+    return format_table(
+        ("attack", "escudo (golden)", "escudo (now)", "sop (golden)", "sop (now)"),
+        rows,
+        title="Defense matrix drift",
+    )
+
+
+def test_corpus_and_golden_matrix_cover_each_other():
+    names = {attack.name for attack in registered_attacks()}
+    assert names == set(GOLDEN_MATRIX), (
+        "attack corpus and golden matrix drifted apart: "
+        f"only in corpus: {sorted(names - set(GOLDEN_MATRIX))}, "
+        f"only in golden: {sorted(set(GOLDEN_MATRIX) - names)}"
+    )
+
+
+def test_defense_matrix_matches_golden():
+    results = defense_effectiveness_matrix(registered_attacks())
+    observed: dict[str, tuple[str, str]] = {}
+    by_name = {
+        model: {r.attack_name: r for r in model_results}
+        for model, model_results in results.items()
+    }
+    for name in by_name["escudo"]:
+        observed[name] = (
+            _outcome(by_name["escudo"][name].succeeded),
+            _outcome(by_name["sop"][name].succeeded),
+        )
+    assert observed == GOLDEN_MATRIX, "\n" + _render_diff(observed)

@@ -7,13 +7,19 @@ import pytest
 from repro.attacks.harness import (
     APP_KEYS,
     Attack,
+    app_keys,
     build_environment,
     defense_effectiveness_matrix,
     login_victim,
     make_application,
     quick_blog_demo,
+    register_application,
+    register_attack_factory,
+    registered_attacks,
     run_attacks,
     summarize,
+    unregister_application,
+    unregister_attack_factory,
     visit,
     visit_attacker,
 )
@@ -46,6 +52,91 @@ class TestApplicationFactory:
         assert app.input_validation
 
 
+class TestRegistration:
+    """Scenario-driven applications and attacks plug in without module edits."""
+
+    def test_builtin_keys_are_registered(self):
+        assert set(APP_KEYS) <= set(app_keys())
+
+    def test_register_and_build_a_custom_application(self):
+        class Wiki(Blog):  # a stand-in "new" application
+            pass
+
+        register_application("wiki", Wiki)
+        try:
+            assert "wiki" in app_keys()
+            app = make_application("wiki")
+            assert isinstance(app, Wiki)
+            assert app.input_validation is False  # harness flags still applied
+            env = build_environment("wiki", "escudo")
+            assert env.app is not None
+        finally:
+            unregister_application("wiki")
+        assert "wiki" not in app_keys()
+
+    def test_reregistering_requires_replace(self):
+        with pytest.raises(ValueError):
+            register_application("phpbb", PhpBB)
+        register_application("phpbb", PhpBB, replace=True)  # restores the builtin
+
+    def test_empty_key_is_rejected(self):
+        with pytest.raises(ValueError):
+            register_application("", PhpBB)
+
+    def test_attack_factories_extend_the_corpus(self):
+        extra = Attack(
+            name="wiki-noop",
+            app_key="phpbb",
+            category="xss",
+            description="registered corpus entry",
+            plant=lambda env: None,
+            victim_action=lambda env: None,
+            succeeded=lambda env: False,
+        )
+        factory = lambda: [extra]  # noqa: E731
+        baseline = {a.name for a in registered_attacks()}
+        register_attack_factory(factory)
+        try:
+            names = {a.name for a in registered_attacks()}
+            assert names == baseline | {"wiki-noop"}
+        finally:
+            unregister_attack_factory(factory)
+        assert {a.name for a in registered_attacks()} == baseline
+
+
+class TestScenarioChoreography:
+    """The generalized entry points the scenario engine drives."""
+
+    def test_execute_in_runs_against_a_prebuilt_environment(self):
+        recorded = []
+        attack = Attack(
+            name="probe",
+            app_key="phpbb",
+            category="xss",
+            description="choreography probe",
+            plant=lambda env: recorded.append("plant"),
+            victim_action=lambda env: recorded.append("victim"),
+            succeeded=lambda env: True,
+        )
+        env = build_environment("phpbb", "sop")
+        result = attack.execute_in(env)
+        assert recorded == ["plant", "victim"]
+        assert result.succeeded and result.model == "sop"
+
+    def test_classify_uses_the_environment_model(self):
+        attack = Attack(
+            name="probe",
+            app_key="phpbb",
+            category="xss",
+            description="",
+            plant=lambda env: None,
+            victim_action=lambda env: None,
+            succeeded=lambda env: False,
+        )
+        env = build_environment("phpbb", "escudo")
+        assert attack.classify(env).model == "escudo"
+
+
 class TestEnvironment:
     def test_build_environment_wires_network_app_attacker_and_browser(self):
         env = build_environment("phpbb", "escudo")
@@ -73,13 +164,19 @@ class TestEnvironment:
         assert env.loaded is lure
         assert lure.page.origin.host == "evil.example.net"
 
-    def test_forged_requests_with_session_excludes_user_navigations(self):
+    def test_forged_requests_with_session_counts_only_cross_site_requests(self):
         env = build_environment("phpbb", "escudo")
         login_victim(env)
         visit(env, "/viewtopic?t=1")  # user navigation: carries the cookie but is not forged
-        # The only non-user requests carrying the session cookie are the
-        # application's own trusted ring-1 XHR pollers -- nothing attacker-made.
-        assert all("xhr" in record.initiator for record in env.forged_requests_with_session())
+        # The application's own trusted ring-1 XHR poller also carried the
+        # session cookie, but it was issued by the app's own page (same-site)
+        # -- the victim's intended traffic, not a forgery.
+        poller_requests = env.network.requests_matching(path_prefix="/api/unread")
+        assert any(
+            record.cookies_sent.get(env.app.session_cookie_name) == env.victim_session_id
+            for record in poller_requests
+        )
+        assert env.forged_requests_with_session() == []
 
 
 class TestAttackRunner:

@@ -209,6 +209,92 @@ class TestInvalidation:
         assert monitor.cache_info().hits == 1
 
 
+class TestScenarioChurn:
+    """Generation semantics under scenario-style churn.
+
+    The scenario engine swaps policies and relabels cookies *mid-session*
+    (one browser per actor, policy matrix columns, ``X-Escudo-Cookie-Policy``
+    relabels).  Interleaving those privilege changes with authorizations must
+    never serve a verdict computed before the change.
+    """
+
+    def test_interleaved_policy_swaps_never_serve_stale_verdicts(self, origin, other_origin):
+        monitor = ReferenceMonitor()
+        principals, objects = _matrix(origin, other_origin)
+        policies = (EscudoPolicy(), SameOriginPolicy())
+        for round_index in range(6):
+            policy = policies[round_index % 2]
+            monitor.policy = policy
+            oracle = ReferenceMonitor(policy, cache=False)
+            for principal in principals:
+                for target in objects:
+                    for operation in Operation:
+                        cached = monitor.authorize(principal, target, operation)
+                        fresh = oracle.authorize(principal, target, operation)
+                        assert cached.verdict is fresh.verdict, (
+                            f"round {round_index}: stale verdict for "
+                            f"{principal.label} -> {target.label} {operation.value}"
+                        )
+                        assert cached.policy == fresh.policy
+
+    def test_each_swap_bumps_the_generation(self, origin):
+        monitor = ReferenceMonitor()
+        start = monitor.cache.generation
+        for index in range(5):
+            monitor.policy = EscudoPolicy() if index % 2 else SameOriginPolicy()
+        assert monitor.cache.generation == start + 5
+        assert monitor.cache_info().invalidations >= 5
+
+    def test_cookie_relabel_churn_mid_scenario(self, origin):
+        """Relabel-invalidate-reauthorize loops always re-derive verdicts."""
+        monitor = ReferenceMonitor()
+        principal = make_context(origin, 2, label="chrome-script")
+        cookie_ctx = make_context(origin, 3, label="session-cookie")
+        for _ in range(4):
+            assert monitor.authorize(principal, cookie_ctx, "use").allowed
+            # The server relabels the cookie above the principal (as a
+            # response's X-Escudo-Cookie-Policy can); the browser bumps the
+            # generation exactly as Browser._store_response_cookies does.
+            cookie_ctx = cookie_ctx.with_ring(1).with_acl(Acl.uniform(1))
+            monitor.invalidate_cache()
+            assert len(monitor.cache) == 0
+            assert monitor.authorize(principal, cookie_ctx, "use").denied
+            # ...and the relabel back down restores access, freshly derived.
+            cookie_ctx = cookie_ctx.with_ring(3).with_acl(Acl.uniform(3))
+            monitor.invalidate_cache()
+
+    def test_seeded_churn_fuzz_matches_uncached_oracle(self, origin, other_origin):
+        """Random interleaving of swaps, relabels and sweeps stays coherent."""
+        import random
+
+        rng = random.Random("decision-cache-churn:42")
+        monitor = ReferenceMonitor(cache_size=64)  # small: eviction in play too
+        principals, objects = _matrix(origin, other_origin)
+        objects = list(objects)
+        policies = (EscudoPolicy(), SameOriginPolicy())
+        current = monitor.policy
+        for _ in range(600):
+            move = rng.random()
+            if move < 0.1:
+                current = rng.choice(policies)
+                monitor.policy = current
+            elif move < 0.2:
+                index = rng.randrange(len(objects))
+                ring = rng.randrange(4)
+                objects[index] = objects[index].with_ring(ring).with_acl(Acl.uniform(ring))
+                monitor.invalidate_cache()  # in-place relabel, as the browser does
+            else:
+                principal = rng.choice(principals)
+                target = rng.choice(objects)
+                operation = rng.choice(list(Operation))
+                cached = monitor.authorize(principal, target, operation)
+                fresh = ReferenceMonitor(current, cache=False).authorize(
+                    principal, target, operation
+                )
+                assert cached.verdict is fresh.verdict
+                assert cached.outcomes == fresh.outcomes
+
+
 class TestDecisionCacheUnit:
     def test_eviction_respects_maxsize(self):
         cache = DecisionCache(maxsize=2)

@@ -1,0 +1,79 @@
+"""Tests for the declarative scenario model (specs, matrix, serialisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.model import (
+    MODEL_MATRIX,
+    Actor,
+    Scenario,
+    Step,
+    make_step,
+    resolve_models,
+)
+
+
+class TestPolicyMatrix:
+    def test_the_three_standard_columns(self):
+        assert set(MODEL_MATRIX) == {"escudo", "sop", "none"}
+        assert MODEL_MATRIX["escudo"].protected
+        assert not MODEL_MATRIX["sop"].protected
+        assert MODEL_MATRIX["sop"].escudo_app, "sop = escudo app viewed by a legacy browser"
+        assert not MODEL_MATRIX["none"].escudo_app, "none = no ESCUDO markup at all"
+
+    def test_resolve_from_comma_separated_string(self):
+        specs = resolve_models("escudo, sop,none")
+        assert [spec.name for spec in specs] == ["escudo", "sop", "none"]
+
+    def test_resolve_rejects_unknown_and_empty(self):
+        with pytest.raises(ValueError):
+            resolve_models("escudo,chrome")
+        with pytest.raises(ValueError):
+            resolve_models("")
+
+
+class TestSteps:
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(ValueError):
+            Step(actor="alice", action="teleport")
+
+    def test_make_step_sorts_params_for_determinism(self):
+        a = make_step("alice", "reply", topic="1", message="hi")
+        b = make_step("alice", "reply", message="hi", topic="1")
+        assert a == b
+        assert a.param("topic") == "1"
+        assert a.param("missing", "x") == "x"
+
+
+class TestScenarioSerialisation:
+    def _scenario(self) -> Scenario:
+        return Scenario(
+            name="pinned-example",
+            app_key="phpbb",
+            kind="benign",
+            actors=[Actor("alice"), Actor("bob")],
+            steps=[
+                make_step("alice", "login", username="alice"),
+                make_step("alice", "post_topic", subject="meeting notes", message="hi"),
+                make_step("bob", "visit", path="/viewtopic?t=1"),
+                make_step("bob", "xhr_get", path="/api/unread", tab=0),
+            ],
+            replay="42:7",
+        )
+
+    def test_round_trip_preserves_everything(self):
+        scenario = self._scenario()
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_attack_scenarios_must_name_their_attack(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", app_key="phpbb", kind="attack", actors=[Actor("victim")])
+
+    def test_victim_defaults_to_first_actor(self):
+        scenario = self._scenario()
+        assert scenario.victim.name == "alice"
+        assert scenario.actor("bob").name == "bob"
+        with pytest.raises(KeyError):
+            scenario.actor("mallory")
