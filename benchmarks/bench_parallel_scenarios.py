@@ -1,0 +1,56 @@
+"""Sharded scenario throughput: the same seed range at 1 / 2 / 4 workers.
+
+Sweeps the parallel executor over worker counts, certifies that every
+sharded run's merged report is byte-identical to the serial baseline, and
+writes ``benchmarks/results/BENCH_parallel_scenarios.json`` (scenarios/s,
+speedup vs serial, per-worker decision-cache hit rates) which the CI
+``parallel-scenarios`` job uploads.
+
+Speedup is hardware-bound (the payload records ``cpu_count``), so the test
+asserts parity and report structure -- the scaling claim is checked by CI on
+a known multi-core runner via the 200-scenario ``--workers 4`` CLI run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import (
+    PARALLEL_RESULTS_NAME,
+    format_parallel_report,
+    measure_parallel_scenarios,
+    write_parallel_report,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Fixed workload so runs are comparable across commits.
+SEED = 42
+COUNT = 40
+ATTACK_RATIO = 0.25
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_parallel_scenario_throughput(benchmark, report_writer):
+    """Time the sharded executor sweep and certify serial parity."""
+    payload = benchmark.pedantic(
+        lambda: measure_parallel_scenarios(
+            seed=SEED, count=COUNT, attack_ratio=ATTACK_RATIO, worker_counts=WORKER_COUNTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert payload["serial"]["ok"], "the serial baseline must satisfy the invariant"
+    assert [row["workers"] for row in payload["workers"]] == list(WORKER_COUNTS)
+    for row in payload["workers"]:
+        assert row["ok"], f"sharded run at {row['workers']} workers found failures"
+        assert row["parity_with_serial"], (
+            f"merged report at {row['workers']} workers diverged from the serial run"
+        )
+        assert len(row["per_worker_cache_hit_rate"]) == min(row["workers"], COUNT)
+        assert row["scenarios_per_second"] > 0
+
+    path = write_parallel_report(payload, RESULTS_DIR / PARALLEL_RESULTS_NAME)
+    report_writer(
+        "parallel_scenarios", format_parallel_report(payload) + f"\n[json artifact: {path}]"
+    )

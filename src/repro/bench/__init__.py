@@ -1,5 +1,11 @@
 """Benchmark support: Figure-4 workloads, timing loops and report formatting."""
 
+from .parallel_bench import (
+    PARALLEL_RESULTS_NAME,
+    format_parallel_report,
+    measure_parallel_scenarios,
+    write_parallel_report,
+)
 from .scenario_bench import (
     SCENARIO_RESULTS_NAME,
     measure_scenarios,
@@ -43,6 +49,7 @@ __all__ = [
     "MediationSample",
     "MediationSpec",
     "OverheadRow",
+    "PARALLEL_RESULTS_NAME",
     "SCENARIOS",
     "SCENARIO_RESULTS_NAME",
     "ScenarioSpec",
@@ -55,15 +62,18 @@ __all__ = [
     "format_defense_matrix",
     "format_figure4",
     "format_mediation_report",
+    "format_parallel_report",
     "format_policy_table",
     "format_table",
     "measure_all",
     "measure_mediation",
     "measure_page_mediation",
+    "measure_parallel_scenarios",
     "measure_scenarios",
     "measure_workload",
     "parse_and_render",
     "time_callable",
     "workload_by_name",
+    "write_parallel_report",
     "write_scenario_report",
 ]

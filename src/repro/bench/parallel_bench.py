@@ -1,0 +1,115 @@
+"""Sharded scenario-execution throughput workload.
+
+Measures the same seeded scenario range serially and sharded over 1 / 2 / 4
+worker processes, verifying on the way that every sharded run's merged
+report is byte-identical to the serial baseline (the parity oracle doubles
+as a correctness certificate for the numbers being compared).  The payload
+lands in ``benchmarks/results/BENCH_parallel_scenarios.json``:
+
+* ``scenarios_per_second`` per worker count,
+* ``speedup_vs_serial`` (relative to the plain serial engine),
+* ``per_worker_cache_hit_rate`` (each shard's private decision caches),
+* ``parity_with_serial`` (merged report equality),
+
+plus the host's CPU count, since speedup is meaningless without it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.scenarios.engine import run_suite
+from repro.scenarios.parallel import run_suite_parallel
+
+#: Artifact name uploaded by the CI ``parallel-scenarios`` job.
+PARALLEL_RESULTS_NAME = "BENCH_parallel_scenarios.json"
+
+#: Worker counts the workload sweeps.
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+
+def measure_parallel_scenarios(
+    *,
+    seed: int | str = 42,
+    count: int = 40,
+    models=("escudo", "sop", "none"),
+    attack_ratio: float = 0.25,
+    worker_counts=DEFAULT_WORKER_COUNTS,
+) -> dict:
+    """Sweep the sharded executor over ``worker_counts`` and build the payload."""
+    serial = run_suite(seed=seed, count=count, models=models, attack_ratio=attack_ratio)
+    serial_parity = serial.parity_dict()
+
+    rows = []
+    for workers in worker_counts:
+        suite = run_suite_parallel(
+            seed=seed,
+            count=count,
+            models=models,
+            attack_ratio=attack_ratio,
+            workers=workers,
+            persist_failures=False,
+        )
+        rows.append(
+            {
+                "workers": workers,
+                "ok": suite.ok,
+                "parity_with_serial": suite.parity_dict() == serial_parity,
+                "duration_s": suite.duration_s,
+                "scenarios_per_second": suite.scenarios_per_second,
+                "speedup_vs_serial": (
+                    suite.scenarios_per_second / serial.scenarios_per_second
+                    if serial.scenarios_per_second > 0
+                    else 0.0
+                ),
+                "per_worker_cache_hit_rate": [
+                    stat["cache_hit_rate"] for stat in suite.shard_stats
+                ],
+                "per_worker_scenarios_per_second": [
+                    stat["scenarios_per_second"] for stat in suite.shard_stats
+                ],
+            }
+        )
+
+    return {
+        "seed": serial.seed,
+        "count": count,
+        "models": list(serial.models),
+        "attack_ratio": attack_ratio,
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "ok": serial.ok,
+            "duration_s": serial.duration_s,
+            "scenarios_per_second": serial.scenarios_per_second,
+            "cache_hit_rate": serial.cache_hit_rate,
+        },
+        "workers": rows,
+    }
+
+
+def format_parallel_report(payload: dict) -> str:
+    """Human-readable summary of the sweep."""
+    lines = [
+        f"parallel scenario execution: seed={payload['seed']} count={payload['count']} "
+        f"matrix={','.join(payload['models'])} (host: {payload['cpu_count']} cpu)",
+        f"  serial baseline: {payload['serial']['scenarios_per_second']:,.1f} scenarios/s",
+    ]
+    for row in payload["workers"]:
+        hit_rates = ", ".join(f"{rate * 100.0:.1f}%" for rate in row["per_worker_cache_hit_rate"])
+        lines.append(
+            f"  workers={row['workers']}: {row['scenarios_per_second']:,.1f} scenarios/s "
+            f"({row['speedup_vs_serial']:.2f}x serial) | "
+            f"parity={'ok' if row['parity_with_serial'] else 'BROKEN'} | "
+            f"per-worker cache hit rate: {hit_rates}"
+        )
+    return "\n".join(lines)
+
+
+def write_parallel_report(payload: dict, path: Path | str) -> Path:
+    """Serialise the sweep payload as the JSON artifact at ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target

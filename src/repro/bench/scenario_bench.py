@@ -14,7 +14,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.scenarios.engine import SuiteResult, run_suite
+from repro.scenarios.engine import SuiteResult
+from repro.scenarios.parallel import run_suite_parallel
 
 #: Default artifact location (relative to the repository root).
 SCENARIO_RESULTS_NAME = "BENCH_scenarios.json"
@@ -27,8 +28,20 @@ def measure_scenarios(
     models=("escudo", "sop", "none"),
     attack_ratio: float = 0.25,
 ) -> SuiteResult:
-    """Run the scenario workload and return the suite result."""
-    return run_suite(seed=seed, count=count, models=models, attack_ratio=attack_ratio)
+    """Run the scenario workload and return the suite result.
+
+    Routed through the sharded executor at one worker (a single in-process
+    shard), so this workload and the ``python -m repro.scenarios`` CLI emit
+    the identical artifact schema -- worker statistics included.
+    """
+    return run_suite_parallel(
+        seed=seed,
+        count=count,
+        models=models,
+        attack_ratio=attack_ratio,
+        workers=1,
+        persist_failures=False,
+    )
 
 
 def write_scenario_report(suite: SuiteResult, path: Path | str) -> Path:

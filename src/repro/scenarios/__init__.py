@@ -13,11 +13,19 @@ Quickstart::
     result = run_suite(seed=42, count=50)
     assert result.ok, result.summary()
 
+Or sharded across worker processes (the merged report is byte-identical to
+the serial run of the same seed range, and failing specs are pinned into the
+regression corpus under ``tests/scenarios/corpus/``)::
+
+    from repro.scenarios import run_suite_parallel
+    result = run_suite_parallel(seed=42, count=200, workers=4)
+
 Or from the command line::
 
-    python -m repro.scenarios --seed 42 --count 100 --matrix escudo,sop,none
+    python -m repro.scenarios --seed 42 --count 200 --workers 4
 """
 
+from .corpus import CorpusEntry, default_corpus_dir, load_corpus, save_entry, save_failure
 from .engine import SuiteResult, run_suite
 from .generator import ScenarioGenerator, attack_by_name, attack_corpus
 from .model import (
@@ -27,19 +35,23 @@ from .model import (
     ModelSpec,
     Scenario,
     Step,
+    canonical_spec_json,
     make_step,
     resolve_models,
 )
 from .oracle import DifferentialOracle, Verdict
+from .parallel import ParallelSuiteResult, partition_indices, run_suite_parallel
 from .runner import DenialRecord, ScenarioRun, ScenarioRunner
 
 __all__ = [
     "ACTIONS",
     "Actor",
+    "CorpusEntry",
     "DenialRecord",
     "DifferentialOracle",
     "MODEL_MATRIX",
     "ModelSpec",
+    "ParallelSuiteResult",
     "Scenario",
     "ScenarioGenerator",
     "ScenarioRun",
@@ -49,7 +61,14 @@ __all__ = [
     "Verdict",
     "attack_by_name",
     "attack_corpus",
+    "canonical_spec_json",
+    "default_corpus_dir",
+    "load_corpus",
     "make_step",
+    "partition_indices",
     "resolve_models",
     "run_suite",
+    "run_suite_parallel",
+    "save_entry",
+    "save_failure",
 ]

@@ -5,8 +5,15 @@ Examples::
     # the acceptance run: 100 seeded scenarios across the full matrix
     python -m repro.scenarios --seed 42 --count 100 --matrix escudo,sop,none
 
+    # the same range sharded over 4 worker processes (identical merged report)
+    python -m repro.scenarios --seed 42 --count 200 --workers 4
+
     # replay one failing scenario by its token and dump its spec
     python -m repro.scenarios --replay 42:17 --spec
+
+Failing specs are pinned as JSON entries into the regression corpus
+(``tests/scenarios/corpus/`` by default; ``--corpus DIR`` overrides,
+``--no-corpus`` disables) which the test suite auto-replays.
 
 Exit status is non-zero when any scenario violates its invariant.  Every
 *suite* run also writes the throughput artifact (``BENCH_scenarios.json``)
@@ -21,9 +28,9 @@ import json
 import sys
 from pathlib import Path
 
-from .engine import run_suite
 from .generator import ScenarioGenerator
 from .oracle import DifferentialOracle
+from .parallel import run_suite_parallel
 from .runner import ScenarioRunner
 
 DEFAULT_BENCH_OUT = "benchmarks/results/BENCH_scenarios.json"
@@ -49,6 +56,25 @@ def _parse_args(argv) -> argparse.Namespace:
         help="seeded probability a scenario embeds an attack (default: 0.25)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the run across N worker processes (default: 1; the merged "
+        "report is byte-identical to the serial run of the same seed range)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default="",
+        metavar="DIR",
+        help="where failing specs are pinned as regression entries "
+        "(default: tests/scenarios/corpus, or $REPRO_CORPUS_DIR)",
+    )
+    parser.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="do not pin failing specs into the regression corpus",
+    )
+    parser.add_argument(
         "--replay",
         default="",
         metavar="SEED:INDEX",
@@ -71,15 +97,18 @@ def _replay_one(args: argparse.Namespace) -> int:
     seed_text, _, _ = parse_replay_token(args.replay)
     generator = ScenarioGenerator(seed=seed_text, attack_ratio=args.attack_ratio)
     scenario = generator.replay(args.replay)
+    # With --spec, stdout carries *only* the spec JSON (so it can be
+    # redirected straight into a corpus pin); the verdict goes to stderr.
+    report = (lambda *a, **kw: print(*a, file=sys.stderr, **kw)) if args.spec else print
     if args.spec:
         print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
     runner = ScenarioRunner(models=args.matrix)
     runs = runner.run(scenario)
     verdict = DifferentialOracle().classify(scenario, runs)
     status = "ok" if verdict.ok else "FAIL"
-    print(f"[{status}] {scenario.name} ({scenario.kind}): {verdict.reason}")
+    report(f"[{status}] {scenario.name} ({scenario.kind}): {verdict.reason}")
     for model, run in runs.items():
-        print(
+        report(
             f"  {model:>6}: digest {run.digest[:12]} | {run.mediations} mediations "
             f"({run.denied} denied) | {run.pages_loaded} pages"
         )
@@ -91,11 +120,17 @@ def main(argv=None) -> int:
     if args.replay:
         return _replay_one(args)
 
-    result = run_suite(
+    # Suite runs always go through the sharded executor: with --workers 1 the
+    # single shard runs in-process (no pool), so the serial and parallel code
+    # paths -- and their merged reports -- are one and the same.
+    result = run_suite_parallel(
         seed=args.seed,
         count=args.count,
         models=args.matrix,
         attack_ratio=args.attack_ratio,
+        workers=args.workers,
+        corpus_dir=args.corpus or None,
+        persist_failures=not args.no_corpus,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
@@ -108,7 +143,11 @@ def main(argv=None) -> int:
         from repro.bench.scenario_bench import write_scenario_report
 
         path = write_scenario_report(result, Path(args.bench_out))
-        print(f"[throughput report written to {path}]")
+        # With --json, stdout must stay a single parseable JSON document.
+        print(
+            f"[throughput report written to {path}]",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     return 0 if result.ok else 1
 
 

@@ -1,0 +1,151 @@
+"""The persisted regression corpus: failing scenario specs, pinned forever.
+
+When a fuzzing run (serial or sharded) finds a scenario that violates its
+differential invariant, the *full spec* -- not just the replay token -- is
+written as a JSON entry under ``tests/scenarios/corpus/``.  Replay tokens
+are only stable relative to the generator configuration (seed, attack
+ratio, registered corpus); the serialised spec is stable forever, so the
+test suite can auto-replay every historical failure on every run
+(``tests/scenarios/test_corpus_replay.py``).
+
+Each entry records the spec, the policy matrix it was observed under, the
+oracle's reason, and ``expect_ok``:
+
+* ``expect_ok: false`` -- an *open* failure: replaying must still reproduce
+  the violation (if it silently stops reproducing, the entry is stale and
+  the test flags it);
+* ``expect_ok: true`` -- a *fixed* (or hand-pinned) scenario: replaying must
+  satisfy the oracle, guarding against regressions.  Flipping the flag after
+  a bug fix converts a failure pin into a permanent regression guard.
+
+Entries are deduplicated by a digest over ``(spec, models)``, so re-running
+the fuzzer over a known-bad range never litters the corpus with copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .model import Scenario, canonical_spec_json
+from .oracle import DifferentialOracle, Verdict
+
+#: Environment override for the corpus location (tests, CI sandboxes).
+CORPUS_ENV_VAR = "REPRO_CORPUS_DIR"
+
+#: Bumped only on incompatible entry-format changes.
+CORPUS_SCHEMA = 1
+
+
+def default_corpus_dir() -> Path:
+    """The corpus directory: ``$REPRO_CORPUS_DIR`` or the in-repo default."""
+    override = os.environ.get(CORPUS_ENV_VAR)
+    if override:
+        return Path(override)
+    # corpus.py -> scenarios -> repro -> src -> repository root
+    return Path(__file__).resolve().parents[3] / "tests" / "scenarios" / "corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned scenario spec plus the context needed to replay it."""
+
+    #: The full ``Scenario.to_dict()`` payload (canonical, JSON-native).
+    spec: dict
+    #: Policy matrix the verdict was observed under.
+    models: tuple[str, ...]
+    #: The oracle's reason at pin time (documentation; not re-asserted).
+    reason: str = ""
+    #: Replay token at pin time (config-relative; documentation only).
+    replay: str = ""
+    #: Expected replay outcome -- see the module docstring.
+    expect_ok: bool = False
+    schema: int = CORPUS_SCHEMA
+
+    @property
+    def name(self) -> str:
+        """The pinned scenario's name."""
+        return str(self.spec.get("name", "unnamed"))
+
+    def digest(self) -> str:
+        """Content digest over ``(spec, models)`` -- the dedupe key."""
+        payload = canonical_spec_json({"spec": self.spec, "models": list(self.models)})
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    def filename(self) -> str:
+        """Deterministic, human-scannable file name for this entry."""
+        return f"{self.name}-{self.digest()}.json"
+
+    def scenario(self) -> Scenario:
+        """Materialise the pinned spec."""
+        return Scenario.from_dict(self.spec)
+
+    def replay_verdict(self) -> Verdict:
+        """Re-run the pinned spec under its recorded matrix and classify it."""
+        from .runner import ScenarioRunner
+
+        scenario = self.scenario()
+        runner = ScenarioRunner(models=self.models)
+        return DifferentialOracle().classify(scenario, runner.run(scenario))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "spec": self.spec,
+            "models": list(self.models),
+            "reason": self.reason,
+            "replay": self.replay,
+            "expect_ok": self.expect_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        return cls(
+            spec=data["spec"],
+            models=tuple(data["models"]),
+            reason=data.get("reason", ""),
+            replay=data.get("replay", ""),
+            expect_ok=bool(data.get("expect_ok", False)),
+            schema=int(data.get("schema", CORPUS_SCHEMA)),
+        )
+
+
+def save_entry(entry: CorpusEntry, directory: Path | str | None = None) -> Path:
+    """Persist ``entry`` (idempotent: an existing identical pin is kept)."""
+    target_dir = Path(directory) if directory is not None else default_corpus_dir()
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / entry.filename()
+    if not path.exists():
+        path.write_text(
+            json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return path
+
+
+def save_failure(
+    spec: dict,
+    *,
+    models,
+    reason: str = "",
+    replay: str = "",
+    directory: Path | str | None = None,
+) -> Path:
+    """Pin a failing spec discovered by a fuzzing run (``expect_ok=False``)."""
+    entry = CorpusEntry(
+        spec=spec, models=tuple(models), reason=reason, replay=replay, expect_ok=False
+    )
+    return save_entry(entry, directory)
+
+
+def load_corpus(directory: Path | str | None = None) -> list[tuple[Path, CorpusEntry]]:
+    """Every corpus entry, sorted by file name (deterministic test order)."""
+    target_dir = Path(directory) if directory is not None else default_corpus_dir()
+    if not target_dir.is_dir():
+        return []
+    entries: list[tuple[Path, CorpusEntry]] = []
+    for path in sorted(target_dir.glob("*.json")):
+        entries.append((path, CorpusEntry.from_dict(json.loads(path.read_text(encoding="utf-8")))))
+    return entries

@@ -28,6 +28,9 @@ class SuiteResult:
     #: The generator's attack ratio -- part of a replay token's context.
     attack_ratio: float = 0.0
     verdicts: list[Verdict] = field(default_factory=list)
+    #: Full specs of failing scenarios (``{"index", "spec", "reason",
+    #: "replay"}``) -- the regression corpus pins these.
+    failure_specs: list[dict] = field(default_factory=list)
     duration_s: float = 0.0
     mediations: int = 0
     denied: int = 0
@@ -68,6 +71,32 @@ class SuiteResult:
         """Decision-cache hit rate aggregated over the whole suite."""
         return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
 
+    def parity_dict(self) -> dict:
+        """The timing-free canonical report.
+
+        This is the merge oracle for sharded execution: a parallel run of a
+        seed range must produce a ``parity_dict`` equal -- byte-identical
+        once JSON-encoded -- to the serial run of the same range.  Wall-clock
+        fields (``duration_s`` and the derived throughputs) are excluded;
+        everything semantic, including every verdict and the aggregate
+        mediation counters, is in.
+        """
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "models": list(self.models),
+            "attack_ratio": self.attack_ratio,
+            "ok": self.ok,
+            "benign": self.benign_count,
+            "attacks": self.attack_count,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+            "mediations": self.mediations,
+            "denied": self.denied,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+            "pages_loaded": self.pages_loaded,
+        }
+
     def as_dict(self) -> dict:
         """The ``BENCH_scenarios.json`` payload."""
         return {
@@ -104,10 +133,12 @@ class SuiteResult:
             lines.append(f"  FAIL [{verdict.replay or verdict.scenario}] {verdict.reason}")
             if verdict.replay:
                 # Replay tokens are only meaningful under the same generator
-                # configuration, so spell the full command out.
+                # configuration *and* policy matrix, so spell the full
+                # command out.
                 lines.append(
                     f"    reproduce: python -m repro.scenarios --replay {verdict.replay} "
-                    f"--attack-ratio {self.attack_ratio} --spec"
+                    f"--attack-ratio {self.attack_ratio} "
+                    f"--matrix {','.join(self.models)} --spec"
                 )
         if self.ok:
             lines.append("  all scenarios satisfied the differential invariant")
@@ -123,24 +154,42 @@ def run_suite(
     generator: ScenarioGenerator | None = None,
     runner: ScenarioRunner | None = None,
     oracle: DifferentialOracle | None = None,
+    indices=None,
 ) -> SuiteResult:
-    """Generate and differentially check ``count`` scenarios."""
+    """Generate and differentially check ``count`` scenarios.
+
+    ``indices`` overrides the default ``range(count)`` with an explicit list
+    of scenario indices -- the sharded executor runs each worker's slice
+    through this very loop, so the serial and parallel engines share one
+    generate -> run -> classify -> aggregate code path.
+    """
     generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
     runner = runner or ScenarioRunner(models=models)
     oracle = oracle or DifferentialOracle()
     model_names = tuple(spec.name for spec in runner.specs)
+    index_list = list(range(count)) if indices is None else list(indices)
     result = SuiteResult(
         seed=generator.seed,
-        count=count,
+        count=len(index_list),
         models=model_names,
         attack_ratio=generator.attack_ratio,
     )
 
     start = time.perf_counter()
-    for index in range(count):
+    for index in index_list:
         scenario = generator.scenario(index)
         runs = runner.run(scenario)
-        result.verdicts.append(oracle.classify(scenario, runs))
+        verdict = oracle.classify(scenario, runs)
+        result.verdicts.append(verdict)
+        if not verdict.ok:
+            result.failure_specs.append(
+                {
+                    "index": index,
+                    "spec": scenario.to_dict(),
+                    "reason": verdict.reason,
+                    "replay": verdict.replay,
+                }
+            )
         for run in runs.values():
             result.mediations += run.mediations
             result.denied += run.denied

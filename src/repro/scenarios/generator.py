@@ -26,6 +26,14 @@ interleaving a real deployment would see.
 The benign vocabulary is disjoint from the attack corpus's sentinel strings
 ("PWNED", "CSRF-FORGED", ...), so success predicates can never trigger on
 benign traffic.
+
+Determinism contract: nothing in this module may iterate a ``set`` or rely
+on string-hash order at an emission point -- draws come from seeded
+``random.Random`` instances over *ordered* pools (tuples, sorted corpus
+names), so the same ``(seed, index)`` yields byte-identical specs in any
+process, under any ``PYTHONHASHSEED``.  Sharded parallel execution and the
+regression corpus both depend on this; it is locked in by
+``tests/scenarios/test_determinism.py``.
 """
 
 from __future__ import annotations

@@ -27,7 +27,32 @@ benign scenarios must leave byte-identical application state everywhere
 
 from __future__ import annotations
 
+import enum
+import json
 from dataclasses import dataclass, field
+
+
+def _json_text(value: object) -> str:
+    """Coerce a step-parameter value to its canonical JSON-safe text form.
+
+    Specs must survive ``dump -> load -> dump`` byte-identically, so every
+    value is flattened to a string *before* the first dump: enums contribute
+    their payload (``Operation.READ`` would round-trip as the useless
+    ``"Operation.READ"`` otherwise), everything else its ``str()``.
+    """
+    if isinstance(value, enum.Enum):
+        value = value.value
+    return str(value)
+
+
+def canonical_spec_json(data: dict) -> str:
+    """The canonical byte encoding of a spec dict (sorted keys, no spaces).
+
+    Corpus entries, replay files and determinism tests all compare specs
+    through this one encoding, so "byte-identical" means the same thing
+    everywhere.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -135,9 +160,17 @@ class Step:
         return default
 
     def to_dict(self) -> dict:
-        data: dict = {"actor": self.actor, "action": self.action, "params": dict(self.params)}
+        # Normalise on the way *out*: hand-built steps may carry non-string
+        # parameter values (ints, enums); flattening here makes the very
+        # first dump the canonical form, so dump -> load -> dump is
+        # byte-identical from the start.
+        data: dict = {
+            "actor": self.actor,
+            "action": self.action,
+            "params": {_json_text(key): _json_text(value) for key, value in self.params},
+        }
         if self.tab != -1:
-            data["tab"] = self.tab
+            data["tab"] = int(self.tab)
         return data
 
     @classmethod
@@ -155,7 +188,7 @@ def make_step(actor: str, action: str, *, tab: int = -1, **params: object) -> St
     return Step(
         actor=actor,
         action=action,
-        params=tuple(sorted((key, str(value)) for key, value in params.items())),
+        params=tuple(sorted((key, _json_text(value)) for key, value in params.items())),
         tab=tab,
     )
 
@@ -211,6 +244,10 @@ class Scenario:
         if self.attack_name:
             data["attack_name"] = self.attack_name
         return data
+
+    def canonical_json(self) -> str:
+        """Canonical byte encoding of this scenario's spec dict."""
+        return canonical_spec_json(self.to_dict())
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":

@@ -47,7 +47,7 @@ class Verdict:
 
 def _snapshot_divergence(runs: dict[str, ScenarioRun]) -> str:
     """Human-readable pointer at the first differing snapshot key."""
-    models = list(runs)
+    models = sorted(runs)
     reference = runs[models[0]].snapshot
     for model in models[1:]:
         other = runs[model].snapshot
@@ -77,7 +77,10 @@ class DifferentialOracle:
     # -- benign: transparency ----------------------------------------------------------------
 
     def _classify_benign(self, scenario: Scenario, runs: dict[str, ScenarioRun]) -> Verdict:
-        digests = {model: run.digest for model, run in runs.items()}
+        # Emission points are sorted by model name so the reason text is
+        # independent of run-dict insertion order (and of PYTHONHASHSEED --
+        # parallel shards must merge to byte-identical verdicts).
+        digests = {model: runs[model].digest for model in sorted(runs)}
         if len(set(digests.values())) == 1:
             return Verdict(
                 scenario=scenario.name,
@@ -106,7 +109,8 @@ class DifferentialOracle:
                 f"{self.protected}: not in the matrix -- the blocked-under-"
                 f"{self.protected} half of the invariant was never checked"
             )
-        for model, run in runs.items():
+        for model in sorted(runs):
+            run = runs[model]
             if run.attack_result is None:
                 problems.append(f"{model}: attack was never executed")
                 continue

@@ -1,0 +1,243 @@
+"""Sharded parallel scenario execution with deterministic result merging.
+
+The serial engine (:func:`repro.scenarios.engine.run_suite`) executes one
+scenario at a time in one process -- fine for a hundred scenarios, a ceiling
+for the ROADMAP's fuzzing-at-scale ambitions.  This module partitions the
+seeded index space across N share-nothing worker processes:
+
+* each worker constructs its **own** generator / runner / oracle stack (and,
+  through them, its own applications, networks, browsers, reference monitors
+  and decision caches -- nothing is shared, nothing needs locking);
+* scenario ``i`` of seed ``s`` is the same scenario in every process (the
+  generator keys an isolated ``random.Random`` on ``(seed, index)``), so a
+  shard's verdicts are byte-identical to the verdicts a serial run produces
+  for the same indices;
+* shard reports are merged deterministically -- verdicts re-sorted by
+  scenario index, aggregate counters summed -- so
+  :meth:`~repro.scenarios.engine.SuiteResult.parity_dict` of a parallel run
+  equals the serial run's, byte for byte;
+* every failing spec is pinned into the regression corpus
+  (:mod:`repro.scenarios.corpus`) from the parent process (a single writer,
+  so no file races between workers).
+
+Everything that crosses the process boundary is a plain dict of JSON-native
+values: the shard config going out, the shard report coming back.  Worker
+processes are started by :class:`concurrent.futures.ProcessPoolExecutor`;
+under the default ``fork`` start method they inherit runtime application /
+attack registrations, under ``spawn`` only import-time registrations exist
+(an unknown attack name then fails loudly in the worker rather than
+silently generating different scenarios: the parent snapshots its attack
+corpus into the shard config).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .corpus import save_failure
+from .engine import SuiteResult, run_suite
+from .generator import ScenarioGenerator
+from .model import resolve_models
+from .oracle import DifferentialOracle, Verdict
+from .runner import ScenarioRunner
+
+
+def partition_indices(count: int, shards: int) -> list[list[int]]:
+    """Strided partition of ``range(count)`` into ``shards`` balanced slices.
+
+    Striding (shard ``k`` takes indices ``k, k+shards, ...``) spreads the
+    expensive attack scenarios -- which the seeded gate sprinkles across the
+    index space -- evenly over workers, where contiguous blocks could hand
+    one worker a run of them.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    return [list(range(shard, count, shards)) for shard in range(shards)]
+
+
+def _run_shard(config: dict) -> dict:
+    """Execute one shard in a worker process (share-nothing, picklable I/O).
+
+    Builds a private generator / runner / oracle from the config snapshot and
+    delegates to :func:`~repro.scenarios.engine.run_suite` over the shard's
+    indices -- the serial engine's loop *is* the shard loop, so the two can
+    never drift apart.
+    """
+    suite = run_suite(
+        generator=ScenarioGenerator(
+            seed=config["seed"],
+            apps=tuple(config["apps"]),
+            attack_ratio=config["attack_ratio"],
+            _attack_names=tuple(config["attack_names"]),
+        ),
+        runner=ScenarioRunner(models=tuple(config["models"])),
+        oracle=DifferentialOracle(),
+        indices=config["indices"],
+    )
+    return {
+        "shard": config["shard"],
+        "scenarios": len(suite.verdicts),
+        "duration_s": suite.duration_s,
+        "verdicts": [
+            {"index": index, "kind": verdict.kind, "verdict": verdict.as_dict()}
+            for index, verdict in zip(config["indices"], suite.verdicts)
+        ],
+        "failures": suite.failure_specs,
+        "mediations": suite.mediations,
+        "denied": suite.denied,
+        "cache_hits": suite.cache_hits,
+        "cache_lookups": suite.cache_lookups,
+        "pages_loaded": suite.pages_loaded,
+    }
+
+
+@dataclass
+class ParallelSuiteResult(SuiteResult):
+    """A merged sharded run: the serial result shape plus worker statistics."""
+
+    workers: int = 1
+    #: Per-shard execution statistics (scenario counts, throughput, cache).
+    shard_stats: list[dict] = field(default_factory=list)
+    #: Corpus files the run's failures were pinned into.
+    corpus_paths: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        data = super().as_dict()
+        data["workers"] = self.workers
+        data["shards"] = self.shard_stats
+        if self.corpus_paths:
+            data["corpus"] = list(self.corpus_paths)
+        return data
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        shard_line = " / ".join(
+            f"{stat['scenarios_per_second']:,.1f}" for stat in self.shard_stats
+        )
+        lines.append(
+            f"  {self.workers} worker(s) | per-shard scenarios/s: {shard_line or 'n/a'}"
+        )
+        for path in self.corpus_paths:
+            lines.append(f"  pinned failing spec -> {path}")
+        return "\n".join(lines)
+
+
+def run_suite_parallel(
+    *,
+    seed: int | str = 42,
+    count: int = 100,
+    models=("escudo", "sop", "none"),
+    attack_ratio: float = 0.25,
+    workers: int = 2,
+    corpus_dir=None,
+    persist_failures: bool = True,
+) -> ParallelSuiteResult:
+    """Run ``count`` seeded scenarios sharded over ``workers`` processes.
+
+    The merged result's :meth:`~repro.scenarios.engine.SuiteResult.parity_dict`
+    is byte-identical to a serial :func:`~repro.scenarios.engine.run_suite`
+    of the same seed range.  Failing specs are pinned into the regression
+    corpus (``corpus_dir``, defaulting to ``tests/scenarios/corpus/``) unless
+    ``persist_failures`` is off.
+    """
+    workers = max(1, int(workers))
+    model_names = tuple(spec.name for spec in resolve_models(models))
+    # The parent-side generator is only a configuration snapshot: its apps
+    # and attack-name tuple travel to the workers so every process generates
+    # from the identical vocabulary, runtime registrations included.
+    generator = ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
+    shard_count = max(1, min(workers, count))
+    configs = [
+        {
+            "shard": shard,
+            "indices": indices,
+            "seed": generator.seed,
+            "apps": generator.apps,
+            "attack_ratio": generator.attack_ratio,
+            "attack_names": generator._attack_names,
+            "models": model_names,
+        }
+        for shard, indices in enumerate(partition_indices(count, shard_count))
+    ]
+
+    start = time.perf_counter()
+    if shard_count == 1:
+        # One worker needs no pool: run the shard in-process, through the
+        # exact same code path the pooled workers take.
+        reports = [_run_shard(config) for config in configs]
+    else:
+        with ProcessPoolExecutor(max_workers=shard_count) as pool:
+            reports = list(pool.map(_run_shard, configs))
+    duration = time.perf_counter() - start
+
+    result = ParallelSuiteResult(
+        seed=generator.seed,
+        count=count,
+        models=model_names,
+        attack_ratio=generator.attack_ratio,
+        workers=workers,
+    )
+    result.duration_s = duration
+
+    # Deterministic merge: shards in shard order for the stats, verdicts
+    # re-interleaved into scenario-index order (the serial execution order).
+    reports.sort(key=lambda report: report["shard"])
+    merged = sorted(
+        (entry for report in reports for entry in report["verdicts"]),
+        key=lambda entry: entry["index"],
+    )
+    for entry in merged:
+        data = entry["verdict"]
+        result.verdicts.append(
+            Verdict(
+                scenario=data["scenario"],
+                kind=data["kind"],
+                ok=data["ok"],
+                reason=data["reason"],
+                replay=data.get("replay", ""),
+            )
+        )
+    result.failure_specs = sorted(
+        (failure for report in reports for failure in report["failures"]),
+        key=lambda failure: failure["index"],
+    )
+    for report in reports:
+        result.mediations += report["mediations"]
+        result.denied += report["denied"]
+        result.cache_hits += report["cache_hits"]
+        result.cache_lookups += report["cache_lookups"]
+        result.pages_loaded += report["pages_loaded"]
+        shard_duration = report["duration_s"]
+        result.shard_stats.append(
+            {
+                "shard": report["shard"],
+                "scenarios": report["scenarios"],
+                "duration_s": shard_duration,
+                "scenarios_per_second": (
+                    report["scenarios"] / shard_duration if shard_duration > 0 else 0.0
+                ),
+                "cache_hit_rate": (
+                    report["cache_hits"] / report["cache_lookups"]
+                    if report["cache_lookups"]
+                    else 0.0
+                ),
+                "mediations": report["mediations"],
+                "denied": report["denied"],
+            }
+        )
+
+    if persist_failures:
+        for failure in result.failure_specs:
+            path = save_failure(
+                failure["spec"],
+                models=model_names,
+                reason=failure["reason"],
+                replay=failure["replay"],
+                directory=corpus_dir,
+            )
+            result.corpus_paths.append(str(path))
+    return result

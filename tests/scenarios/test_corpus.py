@@ -1,0 +1,155 @@
+"""Corpus entries and the JSON-safe spec round trip.
+
+Corpus entries must survive ``dump -> load -> dump`` byte-identically: a
+pinned failure is only a regression artifact if re-serialising it can never
+rewrite it.  The property tests sweep seeded generator output (every spec
+shape the fuzzer can produce) plus adversarial hand-built specs carrying
+non-string parameter values (ints, enums) that the canonical form must
+flatten on the very first dump.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+
+from repro.scenarios import (
+    CorpusEntry,
+    Scenario,
+    ScenarioGenerator,
+    default_corpus_dir,
+    load_corpus,
+    save_entry,
+    save_failure,
+)
+from repro.scenarios.corpus import CORPUS_ENV_VAR
+from repro.scenarios.model import Step, canonical_spec_json, make_step
+
+
+class TestSpecRoundTrip:
+    def test_seeded_specs_round_trip_byte_identically(self):
+        """Property: dump -> load -> dump is the identity on canonical bytes."""
+        for seed in (0, 1, "weird seed: colons:and spaces"):
+            generator = ScenarioGenerator(seed=seed, attack_ratio=0.4)
+            for index in range(40):
+                scenario = generator.scenario(index)
+                first = scenario.canonical_json()
+                reloaded = Scenario.from_dict(json.loads(first))
+                assert reloaded.canonical_json() == first
+                # And a second full cycle stays fixed.
+                again = Scenario.from_dict(json.loads(reloaded.canonical_json()))
+                assert again.canonical_json() == first
+
+    def test_random_param_orderings_round_trip(self):
+        """Hand-built steps with shuffled param tuples still round-trip."""
+        rng = random.Random(7)
+        params = [("zeta", "1"), ("alpha", "2"), ("mid", "3")]
+        for _ in range(20):
+            rng.shuffle(params)
+            scenario = Scenario(
+                name="hand-built",
+                app_key="blog",
+                kind="benign",
+                steps=[Step(actor="alice", action="visit", params=tuple(params))],
+            )
+            first = scenario.canonical_json()
+            reloaded = Scenario.from_dict(json.loads(first))
+            assert reloaded.canonical_json() == first
+
+    def test_non_string_param_values_are_flattened_at_first_dump(self):
+        """Ints and enums become canonical text before the first dump."""
+
+        class Op(enum.Enum):
+            READ = "read"
+
+        step = make_step("alice", "visit", path=Op.READ, tab=-1)
+        assert step.param("path") == "read"  # enum payload, not "Op.READ"
+
+        scenario = Scenario(
+            name="typed-params",
+            app_key="blog",
+            kind="benign",
+            steps=[Step(actor="alice", action="visit", params=(("count", 7),))],
+        )
+        first = scenario.canonical_json()
+        assert '"count":"7"' in first  # flattened to text in the first dump
+        reloaded = Scenario.from_dict(json.loads(first))
+        assert reloaded.canonical_json() == first
+
+    def test_tab_survives_the_round_trip(self):
+        scenario = Scenario(
+            name="tabbed",
+            app_key="phpbb",
+            kind="benign",
+            steps=[make_step("alice", "xhr_get", path="/api/unread", tab=0)],
+        )
+        reloaded = Scenario.from_dict(json.loads(scenario.canonical_json()))
+        assert reloaded.steps[0].tab == 0
+        assert reloaded.canonical_json() == scenario.canonical_json()
+
+
+class TestCorpusEntries:
+    def _spec(self, name: str = "benign-blog-9999") -> dict:
+        from repro.scenarios import Actor
+
+        return Scenario(
+            name=name,
+            app_key="blog",
+            kind="benign",
+            actors=[Actor(name="alice")],
+            steps=[make_step("alice", "visit", path="/")],
+        ).to_dict()
+
+    def test_entry_round_trips_byte_identically(self):
+        entry = CorpusEntry(
+            spec=self._spec(),
+            models=("escudo", "sop"),
+            reason="pinned by hand",
+            replay="42:9999",
+            expect_ok=True,
+        )
+        first = canonical_spec_json(entry.to_dict())
+        reloaded = CorpusEntry.from_dict(json.loads(first))
+        assert canonical_spec_json(reloaded.to_dict()) == first
+        assert reloaded == entry
+
+    def test_save_is_idempotent_and_deterministically_named(self, tmp_path):
+        entry = CorpusEntry(spec=self._spec(), models=("escudo",), expect_ok=True)
+        first = save_entry(entry, tmp_path)
+        second = save_entry(entry, tmp_path)
+        assert first == second
+        assert first.name == entry.filename()
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_save_failure_pins_an_open_entry(self, tmp_path):
+        path = save_failure(
+            self._spec(), models=("sop", "none"), reason="boom", replay="1:2", directory=tmp_path
+        )
+        [(loaded_path, entry)] = load_corpus(tmp_path)
+        assert loaded_path == path
+        assert entry.expect_ok is False
+        assert entry.reason == "boom"
+        assert entry.replay == "1:2"
+        assert entry.scenario().name == "benign-blog-9999"
+
+    def test_distinct_matrices_pin_distinct_entries(self, tmp_path):
+        spec = self._spec()
+        save_failure(spec, models=("sop",), directory=tmp_path)
+        save_failure(spec, models=("none",), directory=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_load_corpus_of_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_default_corpus_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CORPUS_ENV_VAR, str(tmp_path))
+        assert default_corpus_dir() == tmp_path
+        monkeypatch.delenv(CORPUS_ENV_VAR)
+        assert default_corpus_dir().parts[-3:] == ("tests", "scenarios", "corpus")
+
+    def test_replay_verdict_runs_the_recorded_matrix(self):
+        entry = CorpusEntry(spec=self._spec(), models=("escudo", "sop", "none"), expect_ok=True)
+        verdict = entry.replay_verdict()
+        assert verdict.ok
+        assert verdict.kind == "benign"

@@ -1,0 +1,47 @@
+"""Auto-replay of the persisted regression corpus.
+
+Every JSON entry under ``tests/scenarios/corpus/`` is replayed under its
+recorded policy matrix on every test run, forever:
+
+* ``expect_ok: false`` entries are *open* failures -- the violation must
+  still reproduce (if it silently stops reproducing, the pin is stale:
+  either the bug was fixed, in which case flip the flag to turn the entry
+  into a permanent regression guard, or the engine broke in a way that
+  masks it);
+* ``expect_ok: true`` entries are fixed or hand-pinned scenarios -- the
+  oracle must accept them.
+
+New entries appear here automatically whenever a fuzzing run (serial or
+sharded, CLI or library) discovers a failing spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import load_corpus
+
+_ENTRIES = load_corpus()
+
+
+def test_corpus_is_populated():
+    """The repo ships pinned entries; an empty corpus means a broken loader."""
+    assert _ENTRIES, "tests/scenarios/corpus/ must contain at least one pinned spec"
+
+
+@pytest.mark.parametrize(
+    "entry", [entry for _, entry in _ENTRIES], ids=[path.name for path, _ in _ENTRIES]
+)
+def test_corpus_entry_replays(entry):
+    verdict = entry.replay_verdict()
+    if entry.expect_ok:
+        assert verdict.ok, (
+            f"regression: pinned scenario {entry.name!r} no longer satisfies its "
+            f"invariant under {entry.models}: {verdict.reason}"
+        )
+    else:
+        assert not verdict.ok, (
+            f"stale pin: {entry.name!r} no longer reproduces its recorded failure "
+            f"under {entry.models} (fixed? flip expect_ok to true to keep it as a "
+            f"regression guard). Recorded reason: {entry.reason}"
+        )

@@ -1,0 +1,147 @@
+"""Sharded execution: serial-vs-parallel parity, merging, corpus persistence.
+
+The acceptance property for the parallel executor is *byte-identical
+merging*: a sharded run of a seed range must produce exactly the report a
+serial run of the same range produces -- every verdict, every aggregate
+counter.  These tests lock that in at 2 workers over 50 scenarios, exercise
+the partitioner, and drive the failure path end to end (a run with the
+protected column removed must pin its failing specs into the regression
+corpus, deduplicated, and the pinned entries must replay).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios import (
+    load_corpus,
+    partition_indices,
+    run_suite,
+    run_suite_parallel,
+)
+from repro.scenarios.model import canonical_spec_json
+
+SEED = 42
+ATTACK_RATIO = 0.25
+
+
+class TestPartitioning:
+    def test_partition_covers_index_space_exactly_once(self):
+        for count in (0, 1, 7, 50, 101):
+            for shards in (1, 2, 3, 4, 8):
+                parts = partition_indices(count, shards)
+                assert len(parts) == shards
+                merged = sorted(index for part in parts for index in part)
+                assert merged == list(range(count))
+
+    def test_partition_is_balanced(self):
+        parts = partition_indices(103, 4)
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_is_strided(self):
+        # Striding spreads seeded attack scenarios evenly across workers.
+        assert partition_indices(8, 3) == [[0, 3, 6], [1, 4, 7], [2, 5]]
+
+
+class TestSerialParallelParity:
+    def test_two_worker_run_matches_serial_report(self):
+        """The satellite lock-in: 50 scenarios, --workers 2, merged == serial."""
+        serial = run_suite(seed=SEED, count=50, attack_ratio=ATTACK_RATIO)
+        parallel = run_suite_parallel(
+            seed=SEED, count=50, attack_ratio=ATTACK_RATIO, workers=2, persist_failures=False
+        )
+        assert serial.ok, serial.summary()
+        # Byte-identical, not merely equal: compare the canonical encodings.
+        assert canonical_spec_json(parallel.parity_dict()) == canonical_spec_json(
+            serial.parity_dict()
+        )
+
+    def test_single_worker_runs_in_process_and_matches(self):
+        serial = run_suite(seed=SEED, count=12, attack_ratio=ATTACK_RATIO)
+        parallel = run_suite_parallel(
+            seed=SEED, count=12, attack_ratio=ATTACK_RATIO, workers=1, persist_failures=False
+        )
+        assert parallel.parity_dict() == serial.parity_dict()
+        assert parallel.workers == 1
+        assert len(parallel.shard_stats) == 1
+
+    def test_more_workers_than_scenarios_collapses_shards(self):
+        parallel = run_suite_parallel(
+            seed=SEED, count=3, attack_ratio=0.0, workers=8, persist_failures=False
+        )
+        assert len(parallel.shard_stats) == 3
+        assert sum(stat["scenarios"] for stat in parallel.shard_stats) == 3
+
+    def test_shard_stats_sum_to_merged_totals(self):
+        parallel = run_suite_parallel(
+            seed=SEED, count=20, attack_ratio=ATTACK_RATIO, workers=2, persist_failures=False
+        )
+        assert sum(stat["scenarios"] for stat in parallel.shard_stats) == 20
+        assert sum(stat["mediations"] for stat in parallel.shard_stats) == parallel.mediations
+        assert sum(stat["denied"] for stat in parallel.shard_stats) == parallel.denied
+        for stat in parallel.shard_stats:
+            assert 0.0 <= stat["cache_hit_rate"] <= 1.0
+
+    def test_as_dict_extends_the_serial_schema(self):
+        parallel = run_suite_parallel(
+            seed=SEED, count=6, attack_ratio=0.0, workers=2, persist_failures=False
+        )
+        data = parallel.as_dict()
+        # The serial BENCH_scenarios.json keys survive...
+        for key in ("seed", "count", "models", "ok", "scenarios_per_second", "cache_hit_rate"):
+            assert key in data
+        # ...and the sharded run contributes its worker statistics.
+        assert data["workers"] == 2
+        assert len(data["shards"]) == 2
+        json.dumps(data)  # the payload must stay JSON-serialisable
+
+
+class TestFailurePersistence:
+    def _failing_run(self, tmp_path, *, count=3, workers=2):
+        # Removing the protected column makes every attack scenario violate
+        # the differential invariant deterministically -- a synthetic failure
+        # source that needs no broken implementation.
+        return run_suite_parallel(
+            seed=SEED,
+            count=count,
+            attack_ratio=1.0,
+            models=("sop", "none"),
+            workers=workers,
+            corpus_dir=tmp_path,
+        )
+
+    def test_failing_specs_land_in_the_corpus(self, tmp_path):
+        result = self._failing_run(tmp_path)
+        assert not result.ok
+        assert len(result.failures) == 3
+        assert len(result.corpus_paths) == 3
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 3
+        for _, entry in entries:
+            assert entry.expect_ok is False
+            assert entry.models == ("sop", "none")
+            assert "escudo" in entry.reason
+            # The pinned spec replays and still reproduces the violation.
+            verdict = entry.replay_verdict()
+            assert not verdict.ok
+
+    def test_reruns_deduplicate_corpus_entries(self, tmp_path):
+        first = self._failing_run(tmp_path)
+        second = self._failing_run(tmp_path, workers=1)
+        assert sorted(first.corpus_paths) == sorted(second.corpus_paths)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_persistence_can_be_disabled(self, tmp_path):
+        result = run_suite_parallel(
+            seed=SEED,
+            count=2,
+            attack_ratio=1.0,
+            models=("sop", "none"),
+            workers=2,
+            corpus_dir=tmp_path,
+            persist_failures=False,
+        )
+        assert not result.ok
+        assert result.corpus_paths == []
+        assert list(tmp_path.glob("*.json")) == []
