@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A deferred XSS attack racing a policy swap through the event loop.
+
+The runtime has a real (virtual-clock) event loop, so an injected script
+can defer its payload with ``setTimeout`` past the page load and fire an
+*asynchronous* ``XMLHttpRequest`` whose completion sits in the task queue.
+This demo walks the TOCTOU choreography step by step under both protection
+models:
+
+1. mallory's forum reply hides a deferred script that forges a POST
+   creating a ``PWNED`` topic through the victim's session;
+2. the victim views the poisoned topic -- the timer is queued, nothing has
+   happened yet;
+3. the server relabels ``XMLHttpRequest`` to permit ring 3 (the
+   *check*-time policy), the clock advances, and ``send()`` queues the
+   completion;
+4. the grant is revoked while the completion is still in flight;
+5. the loop drains: mediation happens **at completion time**, so ESCUDO
+   denies the forged request (attributably, in the audit log) while the
+   legacy browser delivers it.
+
+Run with::
+
+    PYTHONPATH=src python examples/deferred_xss.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks.harness import build_environment, login_victim, visit
+from repro.attacks.toctou import DEFER_MS, payload_deferred_post
+from repro.core.config import ResourcePolicy
+
+
+def run_under(model: str) -> bool:
+    print(f"--- protection model: {model} ---")
+    env = build_environment("phpbb", model)
+    login_victim(env)
+    env.app.add_reply(
+        1,
+        "mallory",
+        payload_deferred_post("/posting?mode=newtopic&subject=PWNED&message=forged+after+load"),
+    )
+
+    loaded = visit(env, "/viewtopic?t=1")
+    page = loaded.page
+    print(f"page loaded; queued tasks: {page.event_loop.pending_count} "
+          "(the deferred payload survived the load)")
+
+    # The server's relabel: XHR may be used by ring 3 -- the check-time policy.
+    page.set_api_policy("XMLHttpRequest", ResourcePolicy.uniform(3))
+    page.event_loop.advance(DEFER_MS)
+    print(f"timer fired at t={page.event_loop.now:.0f}ms: send() queued the completion")
+
+    # The revocation lands while the completion is in flight.
+    page.set_api_policy("XMLHttpRequest", ResourcePolicy.ring_zero())
+    page.event_loop.drain()
+
+    forged = any(topic.title == "PWNED" for topic in env.app.state.topics)
+    print(f"forged topic created: {forged}")
+    denials = page.monitor.audit.denials()
+    if denials:
+        last = denials[-1]
+        print(f"last denial: {last.operation.value} {last.principal_label} -> "
+              f"{last.object_label} (rule: {last.denying_rule.value})")
+    if model == "escudo":
+        # The demo doubles as a CI gate: a regression to send-time mediation
+        # would let the forged request through here.
+        assert not forged, "ESCUDO must block the deferred request at completion time"
+        assert denials and denials[-1].denying_rule is not None, (
+            "the block must be attributable in the audit log"
+        )
+    else:
+        assert forged, "the legacy model must deliver the deferred request"
+    print()
+    return forged
+
+
+def main() -> None:
+    print(__doc__.split("Run with")[0])
+    outcomes = {model: run_under(model) for model in ("escudo", "sop")}
+    assert outcomes == {"escudo": False, "sop": True}
+    print("Expected shape: the forged topic exists only under the legacy model; "
+          "under ESCUDO the completion-time check blocks it and the audit log "
+          "names the rule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from .privilege_escalation import (
     remap_attack,
     tamper_denials,
 )
+from .toctou import all_toctou_attacks, phpbb_toctou_attacks
 from .xss import all_xss_attacks, phpbb_xss_attacks, phpcalendar_xss_attacks
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "all_csrf_attacks",
     "all_node_splitting_attacks",
     "all_privilege_escalation_attacks",
+    "all_toctou_attacks",
     "all_xss_attacks",
     "build_environment",
     "defense_effectiveness_matrix",
@@ -52,6 +54,7 @@ __all__ = [
     "node_splitting_payload",
     "phpbb_csrf_attacks",
     "phpbb_node_splitting_attack",
+    "phpbb_toctou_attacks",
     "phpbb_xss_attacks",
     "phpcalendar_csrf_attacks",
     "phpcalendar_xss_attacks",

@@ -91,6 +91,7 @@ def registered_attacks() -> "list[Attack]":
     from .csrf import all_csrf_attacks
     from .node_splitting import all_node_splitting_attacks
     from .privilege_escalation import all_privilege_escalation_attacks
+    from .toctou import all_toctou_attacks
     from .xss import all_xss_attacks
 
     corpus = (
@@ -98,6 +99,7 @@ def registered_attacks() -> "list[Attack]":
         + all_csrf_attacks()
         + all_node_splitting_attacks()
         + all_privilege_escalation_attacks()
+        + all_toctou_attacks()
     )
     for factory in _ATTACK_FACTORIES:
         corpus.extend(factory())

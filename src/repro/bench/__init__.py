@@ -1,5 +1,11 @@
 """Benchmark support: Figure-4 workloads, timing loops and report formatting."""
 
+from .event_loop_bench import (
+    EVENT_LOOP_RESULTS_NAME,
+    format_event_loop_report,
+    measure_event_loop,
+    write_event_loop_report,
+)
 from .parallel_bench import (
     PARALLEL_RESULTS_NAME,
     format_parallel_report,
@@ -44,6 +50,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "EVENT_LOOP_RESULTS_NAME",
     "MEDIATION_SPEC",
     "MediationComparison",
     "MediationSample",
@@ -60,12 +67,14 @@ __all__ = [
     "build_mediation_requests",
     "build_workload",
     "format_defense_matrix",
+    "format_event_loop_report",
     "format_figure4",
     "format_mediation_report",
     "format_parallel_report",
     "format_policy_table",
     "format_table",
     "measure_all",
+    "measure_event_loop",
     "measure_mediation",
     "measure_page_mediation",
     "measure_parallel_scenarios",
@@ -74,6 +83,7 @@ __all__ = [
     "parse_and_render",
     "time_callable",
     "workload_by_name",
+    "write_event_loop_report",
     "write_parallel_report",
     "write_scenario_report",
 ]

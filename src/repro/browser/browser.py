@@ -33,6 +33,7 @@ from repro.http.messages import HttpRequest, HttpResponse
 from repro.http.network import Network
 from repro.http.url import Url
 
+from .event_loop import EventLoop
 from .history import BrowserHistory
 from .loader import LoaderOptions, load_page
 from .page import Page
@@ -69,6 +70,7 @@ class Browser:
         fetch_subresources: bool = True,
         max_script_steps: int = 500_000,
         enforce_scoping: bool = True,
+        interleave_seed: int | None = None,
     ) -> None:
         if model not in ("escudo", "sop", "same-origin"):
             raise ValueError(f"unknown protection model {model!r}")
@@ -80,6 +82,10 @@ class Browser:
         # Disabling the scoping rule is exclusively for the ablation
         # benchmark; the real model always enforces it.
         self.enforce_scoping = enforce_scoping
+        # Seeds the deterministic permutation of same-due tasks in each
+        # page's event loop (None = FIFO).  The scenario generator derives it
+        # from the scenario seed, so replays reproduce the interleaving.
+        self.interleave_seed = interleave_seed
         self.cookie_jar = CookieJar()
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
@@ -119,7 +125,13 @@ class Browser:
         self.cookie_jar.store_from_response(final_url.origin, response.set_cookie_values, configuration)
 
         options = LoaderOptions(model=self.model, enforce_scoping=self.enforce_scoping)
-        page = load_page(response.body, final_url, configuration=configuration, options=options)
+        page = load_page(
+            response.body,
+            final_url,
+            configuration=configuration,
+            options=options,
+            event_loop=EventLoop(interleave_key=self.interleave_seed),
+        )
         self.history.record_visit(final_url, title=_page_title(page))
 
         runtime = ScriptRuntime(self, page, max_steps=self.max_script_steps)
@@ -131,6 +143,13 @@ class Browser:
             loaded.subresource_requests = self._fetch_subresources(page)
         if self.run_scripts:
             runtime.run_document_scripts()
+        # Settle the load's time-zero horizon: immediate tasks (zero-delay
+        # timers, synchronously-drained dispatches) complete before load()
+        # returns, while positively-delayed timers and queued async XHR
+        # completions survive -- that deferred work is what advance_time /
+        # drain steps (and the TOCTOU attacks) later race against policy
+        # changes.
+        page.event_loop.settle()
         return loaded
 
     def _navigate(self, url: Url, *, method: str, form: dict[str, str] | None) -> HttpResponse:
@@ -320,11 +339,15 @@ class Browser:
         return loaded.events.fire_by_id(element_id, event_type, **kwargs)
 
     def run_script(self, loaded: LoadedPage, source: str, *, ring: int | None = None,
-                   description: str = "injected script"):
+                   description: str = "injected script", drain: bool = True):
         """Run an ad-hoc script on a loaded page (used by tests and examples).
 
         ``ring`` pins the principal's ring; the default is the page's
         least-privileged ring for ESCUDO pages and ring 0 for legacy pages.
+        ``drain`` (default) runs the page's event loop to quiescence after
+        the script, so timers and async XHRs it scheduled complete before
+        this returns; pass ``drain=False`` to leave deferred work queued
+        (the async scenario steps do, so later steps control the clock).
         """
         page = loaded.page
         if ring is None:
@@ -339,7 +362,20 @@ class Browser:
             acl=Acl.uniform(principal_ring),
             label=f"adhoc script ring {principal_ring.level}",
         )
-        return loaded.runtime.execute(source, principal, description=description)
+        run = loaded.runtime.execute(source, principal, description=description)
+        if drain:
+            loaded.page.event_loop.drain()
+        return run
+
+    # -- virtual clock ------------------------------------------------------------------------
+
+    def advance_time(self, loaded: LoadedPage, ms: float) -> int:
+        """Advance a page's virtual clock, running every task due on the way."""
+        return loaded.page.event_loop.advance(ms)
+
+    def drain(self, loaded: LoadedPage) -> int:
+        """Run a page's event loop to quiescence (timers, async XHRs, all)."""
+        return loaded.page.event_loop.drain()
 
     # -- cookie access from scripts ------------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from repro.html.parser import TreeBuilder
 from repro.html.tokenizer import tokenize
 from repro.http.url import Url
 
+from .event_loop import EventLoop
 from .labeler import PageLabeler, document_uses_escudo
 from .page import Page
 from .renderer import Renderer
@@ -61,6 +62,7 @@ def load_page(
     configuration: PageConfiguration | None = None,
     options: LoaderOptions | None = None,
     monitor: ReferenceMonitor | None = None,
+    event_loop: EventLoop | None = None,
 ) -> Page:
     """Run the full pipeline over a response body.
 
@@ -79,6 +81,13 @@ def load_page(
     monitor:
         Reference monitor to attach to the page.  A fresh one (with the
         model chosen by ``options``) is created when omitted.
+    event_loop:
+        Task scheduler to attach to the page.  The browser passes a loop
+        carrying its interleaving key; standalone callers get a fresh
+        FIFO-ordered loop.  After the pipeline (and the caller's script
+        pass) runs, the browser settles the loop's time-zero horizon so
+        immediate tasks complete during load while deferred timers survive
+        it.
     """
     opts = options or LoaderOptions()
     page_url = url if isinstance(url, Url) else Url.parse(url)
@@ -138,4 +147,5 @@ def load_page(
         rendering=render_stats,
         nonce_validator=validator,
         ignored_end_tags=builder.ignored_end_tags,
+        event_loop=event_loop if event_loop is not None else EventLoop(),
     )

@@ -26,6 +26,7 @@ from repro.dom.events import EventDispatcher
 from repro.http.url import Url
 from repro.scripting.interpreter import ExecutionResult
 
+from .event_loop import EventLoop
 from .labeler import LabelingStats
 from .renderer import RenderStats
 
@@ -70,6 +71,8 @@ class Page:
     dispatcher: EventDispatcher = field(default_factory=EventDispatcher)
     listeners: list[RegisteredListener] = field(default_factory=list)
     script_runs: list[ScriptRun] = field(default_factory=list)
+    #: Per-page task scheduler: timers, queued XHR completions, dispatches.
+    event_loop: EventLoop = field(default_factory=EventLoop)
 
     # -- identity ----------------------------------------------------------------------
 
@@ -125,6 +128,19 @@ class Page:
             label=f"native-api:{api_name}",
         )
 
+    def set_api_policy(self, api_name: str, policy) -> None:
+        """Relabel a native API object mid-session (a server-pushed update).
+
+        Pairs the configuration write with a cache-generation bump so no
+        verdict predating the privilege change can survive it -- callers
+        must not be able to forget the invalidation, or a revocation would
+        fail open through the decision cache.  Deferred work already queued
+        on the event loop is decided against the *new* policy when it runs
+        (the completion-time TOCTOU rule).
+        """
+        self.configuration.api_policies[api_name] = policy
+        self.monitor.invalidate_cache()
+
     def dom_api_context(self) -> SecurityContext | None:
         """Context for the DOM API object, only when explicitly configured."""
         if "DOM API" in self.configuration.api_policies:
@@ -169,4 +185,5 @@ class Page:
             "mediated_accesses": self.monitor.stats.total,
             "denied_accesses": self.monitor.stats.denied,
             "ignored_end_tags": self.ignored_end_tags,
+            "tasks_run": self.event_loop.stats.tasks_run,
         }

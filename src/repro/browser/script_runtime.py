@@ -9,8 +9,10 @@ in an environment built by :class:`ScriptRuntime`.  The environment exposes:
   context, plus ``document.cookie`` whose reads and writes are mediated
   against each cookie's ring/ACL;
 * ``window`` -- ``alert``, ``location`` (navigation attempts are recorded,
-  which the XSS experiments use to detect exfiltration), ``setTimeout``
-  (synchronous in this reproduction);
+  which the XSS experiments use to detect exfiltration), ``setTimeout`` /
+  ``clearTimeout`` (real deferred semantics: callbacks are queued on the
+  page's deterministic event loop and run when it is advanced or drained,
+  under the principal that registered them);
 * ``console.log``;
 * ``XMLHttpRequest`` -- the mediated native API from
   :mod:`repro.browser.xhr`.
@@ -251,6 +253,8 @@ class WindowBinding(HostObject):
             return self._location
         if name == "setTimeout":
             return NativeFunction(self._set_timeout, "setTimeout")
+        if name == "clearTimeout":
+            return NativeFunction(self._clear_timeout, "clearTimeout")
         if name == "document":
             return self._runtime.document_binding
         if name == "console":
@@ -263,9 +267,50 @@ class WindowBinding(HostObject):
             return
         raise RuntimeScriptError(f"window property {name!r} is not writable")
 
-    def _set_timeout(self, callback, _delay=0):
-        """Synchronous ``setTimeout``: the callback runs immediately."""
-        return self._runtime.invoke(callback, [])
+    def _set_timeout(self, callback, delay=0.0):
+        """``setTimeout``: queue the callback on the page's event loop.
+
+        The callback runs under the registering principal when the loop
+        reaches its due time -- *after* the current script, which is the
+        deferred-execution window the async attack scenarios exercise.
+        Returns the timer id for ``clearTimeout``.
+        """
+        environment = self._runtime
+        try:
+            delay_ms = float(delay)
+        except (TypeError, ValueError):
+            delay_ms = 0.0
+
+        def fire() -> None:
+            # The id is spent either way (fired or cleared); dropping it
+            # keeps the registry bounded on pages that re-arm polling timers.
+            environment.own_timers.discard(timer_id)
+            environment.invoke(callback, [])
+
+        timer_id = environment.page.event_loop.set_timeout(
+            fire,
+            delay_ms,
+            label=f"timer:{environment.principal.label}",
+        )
+        environment.own_timers.add(timer_id)
+        return float(timer_id)
+
+    def _clear_timeout(self, timer_id) -> bool:
+        """``clearTimeout``: cancel one of *this environment's own* timers.
+
+        Timer ids share the page loop's sequence across every principal, so
+        a guessed id must not let a script cancel another principal's
+        deferred callback -- an unmediated, unaudited interference channel.
+        Only ids this environment registered are honoured.
+        """
+        try:
+            task_id = int(timer_id)
+        except (TypeError, ValueError):
+            return False
+        if task_id not in self._runtime.own_timers:
+            return False
+        self._runtime.own_timers.discard(task_id)
+        return self._runtime.page.event_loop.clear_timeout(task_id)
 
 
 class ConsoleBinding(HostObject):
@@ -318,6 +363,10 @@ class _PrincipalEnvironment:
         self.document_binding = DocumentBinding(self.dom_api, self)
         self.console_binding = ConsoleBinding(runtime.observations.console)
         self.window = WindowBinding(self)
+        #: Timer ids this environment registered -- the only ones its
+        #: clearTimeout may cancel (cross-principal cancellation would be an
+        #: unmediated interference channel).
+        self.own_timers: set[int] = set()
         self._install_globals()
 
     # -- environment ------------------------------------------------------------------
@@ -329,6 +378,8 @@ class _PrincipalEnvironment:
         interpreter.globals.define("console", self.console_binding)
         interpreter.globals.define("alert", NativeFunction(self.record_alert, "alert"))
         interpreter.globals.define("location", self.window.js_get("location"))
+        interpreter.globals.define("setTimeout", self.window.js_get("setTimeout"))
+        interpreter.globals.define("clearTimeout", self.window.js_get("clearTimeout"))
         interpreter.globals.define(
             "XMLHttpRequest",
             NativeConstructor(

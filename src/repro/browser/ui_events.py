@@ -61,7 +61,39 @@ class UiEventLayer:
         synthesizing_principal: SecurityContext | None = None,
         detail: dict | None = None,
     ) -> UiEventResult:
-        """Fire ``event_type`` at ``element`` and run the authorised handlers."""
+        """Fire ``event_type`` at ``element`` and run the authorised handlers.
+
+        Dispatch is routed through the page's event loop: the delivery is
+        posted as a macrotask due *now* and the loop's time-zero horizon is
+        settled before returning.  Tasks already due -- zero-delay timers,
+        under a seeded interleave possibly ordered ahead of the dispatch --
+        genuinely run in queue order around it, and immediate follow-up work
+        a handler schedules completes too, while positively-delayed timers
+        stay queued for the caller to advance.
+        """
+        result = UiEventResult(
+            event_type=event_type,
+            target_description=f"<{element.tag_name}>" + (f"#{element.id}" if element.id else ""),
+        )
+        self.page.event_loop.post(
+            lambda: self._dispatch(element, event_type, user_initiated,
+                                   synthesizing_principal, detail, result),
+            kind="dispatch",
+            label=f"event:{event_type}",
+        )
+        self.page.event_loop.settle()
+        return result
+
+    def _dispatch(
+        self,
+        element: Element,
+        event_type: str,
+        user_initiated: bool,
+        synthesizing_principal: SecurityContext | None,
+        detail: dict | None,
+        result: UiEventResult,
+    ) -> None:
+        """The queued delivery task: mediate the path and run handlers."""
         if user_initiated or synthesizing_principal is None:
             principal = self.page.browser_principal()
         else:
@@ -70,10 +102,6 @@ class UiEventLayer:
             principal = principal.with_label("user/browser")
 
         event = Event(event_type=event_type, target=element, detail=detail or {})
-        result = UiEventResult(
-            event_type=event_type,
-            target_description=f"<{element.tag_name}>" + (f"#{element.id}" if element.id else ""),
-        )
 
         # Batch step: pre-label the whole propagation path and warm the
         # monitor's decision cache in one grouped pass, so the per-element
@@ -124,7 +152,6 @@ class UiEventLayer:
                 description=f"{handler_attribute} on <{candidate.tag_name}>",
             )
             result.inline_handlers_run += 1
-        return result
 
     def fire_by_id(self, element_id: str, event_type: str, **kwargs) -> UiEventResult:
         """Convenience: fire at the element with ``id`` (raises if missing)."""

@@ -7,6 +7,16 @@ passes the ACL's ``use`` entry.  A denied ``send()`` is neutralised -- the
 request never reaches the network, ``status`` stays 0 and ``responseText``
 stays empty -- mirroring how the prototype blocks unauthorised AJAX.
 
+Completion goes through the page's event loop.  ``send()`` always enqueues
+a completion task; for the default synchronous mode (two-argument
+``open()``) the task runs in place, while ``open(method, url, true)``
+leaves it queued until the loop is advanced or drained.  The ``use``
+mediation lives inside the completion task, so the decision is made against
+the policy *at completion time* -- a policy swapped between ``send()`` and
+completion governs the outcome (the TOCTOU rule the deferred-attack
+scenarios pin down), and either way the decision lands in the page's audit
+log.
+
 Requests that are allowed go through the browser's common request path, so
 cookie attachment is mediated exactly like for form submissions and links.
 """
@@ -21,6 +31,7 @@ from repro.http.headers import Headers
 from repro.scripting.errors import RuntimeScriptError
 from repro.scripting.interpreter import HostObject, NativeFunction
 
+from .event_loop import XHR_COMPLETION_LATENCY_MS, ScheduledTask
 from .page import Page
 
 
@@ -43,8 +54,10 @@ class XmlHttpRequest(HostObject):
         self._invoke = invoke
         self._method = "GET"
         self._url_text: str | None = None
+        self._async = False
         self._request_headers = Headers()
         self._response_headers = Headers()
+        self._pending: ScheduledTask | None = None
         self.status = 0.0
         self.response_text = ""
         self.ready_state = 0.0
@@ -82,9 +95,19 @@ class XmlHttpRequest(HostObject):
 
     # -- behaviour ----------------------------------------------------------------------
 
-    def _open(self, method, url, *_ignored) -> None:
+    def _open(self, method, url, async_flag=None, *_ignored) -> None:
+        """``open()``: (re)arm the object, clearing every per-request field.
+
+        A reused object must not carry state from a previous request: an
+        earlier denial, status, response body or buffered response headers
+        would otherwise misreport the new request (the sticky-``denied``
+        bug this reset fixes).  A completion still queued from a previous
+        ``send()`` is cancelled outright.
+        """
+        self._reset_request_state(clear_request_headers=True)
         self._method = str(method).upper()
         self._url_text = str(url)
+        self._async = bool(async_flag)
         self.ready_state = 1.0
 
     def _set_request_header(self, name, value) -> None:
@@ -94,17 +117,57 @@ class XmlHttpRequest(HostObject):
         return self._response_headers.get(str(name))
 
     def _abort(self) -> None:
+        """``abort()``: cancel any queued completion and reset the object.
+
+        The author request headers, buffered response headers and the
+        ``denied`` flag are cleared too, so an aborted object can be reused
+        for a fresh request without carrying the aborted one's state.  The
+        object is fully *disarmed*: the method/URL are dropped as well, so
+        a ``send()`` without a fresh ``open()`` fails like on a new object
+        instead of silently replaying the aborted request.
+        """
+        self._reset_request_state(clear_request_headers=True)
+        self._method = "GET"
+        self._url_text = None
+        self._async = False
         self.ready_state = 0.0
-        self.status = 0.0
-        self.response_text = ""
 
     def _send(self, body=None) -> None:
         if self._url_text is None:
             raise RuntimeScriptError("XMLHttpRequest.send() called before open()")
 
+        # Re-sending on the same object keeps the author request headers
+        # (the caller configured them for this request); everything else
+        # from the previous request is dropped.
+        self._reset_request_state(clear_request_headers=False)
+
+        payload = str(body) if body is not None else ""
+        loop = self._page.event_loop
+        task = loop.post(
+            lambda: self._complete(payload),
+            delay=XHR_COMPLETION_LATENCY_MS if self._async else 0.0,
+            kind="xhr",
+            label=f"xhr:{self._method} {self._url_text}",
+        )
+        if self._async:
+            self._pending = task
+            self.ready_state = 2.0
+            return
+        loop.run_task(task)
+
+    def _complete(self, body: str) -> None:
+        """The queued completion: mediation *and* delivery happen here.
+
+        Running the ``use`` check at completion time (not at ``send()``)
+        is what makes the decision reflect policy changes that landed while
+        the task was queued.
+        """
+        self._pending = None
+
         # Mediation: the principal must be allowed to *use* the XHR API
-        # object.  The fast-path predicate is fully recorded like authorize();
-        # repeated sends by the same principal are decision-cache hits.
+        # object.  The fast-path predicate is fully recorded like
+        # authorize(); repeated completions by the same principal are
+        # decision-cache hits.
         api_context = self._page.api_context("XMLHttpRequest")
         if not self._page.monitor.allows(
             self._principal,
@@ -125,7 +188,7 @@ class XmlHttpRequest(HostObject):
             principal=self._principal,
             method=self._method,
             url=target,
-            body=str(body) if body is not None else "",
+            body=body,
             headers=self._request_headers,
             initiator_label=f"xhr:{self._principal.label}",
         )
@@ -134,6 +197,28 @@ class XmlHttpRequest(HostObject):
         self._response_headers = response.headers
         self.ready_state = 4.0
         self._fire_callbacks()
+
+    def _reset_request_state(self, *, clear_request_headers: bool) -> None:
+        """Drop every per-request field so a reused object starts clean.
+
+        The one deliberate asymmetry: ``send()`` without a fresh ``open()``
+        keeps the author request headers (they were set for the request
+        being resent), while ``open()`` and ``abort()`` clear them.  Any
+        field missed here recreates the sticky-state bug class this method
+        exists to prevent.
+        """
+        self._cancel_pending()
+        if clear_request_headers:
+            self._request_headers = Headers()
+        self._response_headers = Headers()
+        self.status = 0.0
+        self.response_text = ""
+        self.denied = False
+
+    def _cancel_pending(self) -> None:
+        if self._pending is not None:
+            self._page.event_loop.cancel(self._pending.task_id)
+            self._pending = None
 
     def _fire_callbacks(self) -> None:
         for callback in (self._onreadystatechange, self._onload):

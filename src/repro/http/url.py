@@ -45,20 +45,33 @@ def _quote(text: str) -> str:
     return "".join(out)
 
 
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
 def _unquote(text: str) -> str:
-    """Inverse of :func:`_quote`."""
-    text = text.replace("+", " ")
+    """Inverse of :func:`_quote`.
+
+    ``%XX`` escapes decode byte-wise (so multi-byte UTF-8 sequences
+    reassemble exactly), ``+`` decodes to a space, and anything that is not
+    a complete two-hex-digit escape -- a truncated ``%A`` at end-of-string,
+    or ``%`` followed by non-hex characters -- passes through literally.
+    The hex check is strict membership, not ``int()``, which would also
+    accept whitespace and sign characters (``"% 1"`` must stay literal,
+    not decode to byte 0x01).
+    """
     out = bytearray()
     i = 0
-    while i < len(text):
+    n = len(text)
+    while i < n:
         ch = text[i]
-        if ch == "%" and i + 2 < len(text) + 1 and i + 3 <= len(text):
-            try:
-                out.append(int(text[i + 1 : i + 3], 16))
-                i += 3
-                continue
-            except ValueError:
-                pass
+        if ch == "+":
+            out.append(0x20)
+            i += 1
+            continue
+        if ch == "%" and i + 3 <= n and text[i + 1] in _HEX_DIGITS and text[i + 2] in _HEX_DIGITS:
+            out.append(int(text[i + 1 : i + 3], 16))
+            i += 3
+            continue
         out.extend(ch.encode("utf-8"))
         i += 1
     return out.decode("utf-8", errors="replace")

@@ -37,6 +37,9 @@ class SuiteResult:
     cache_hits: int = 0
     cache_lookups: int = 0
     pages_loaded: int = 0
+    #: Event-loop macrotasks executed across the whole suite.  Part of the
+    #: parity report: shards must reproduce the exact task schedule.
+    tasks_run: int = 0
 
     @property
     def failures(self) -> list[Verdict]:
@@ -95,6 +98,7 @@ class SuiteResult:
             "cache_hits": self.cache_hits,
             "cache_lookups": self.cache_lookups,
             "pages_loaded": self.pages_loaded,
+            "tasks_run": self.tasks_run,
         }
 
     def as_dict(self) -> dict:
@@ -115,6 +119,7 @@ class SuiteResult:
             "denied": self.denied,
             "cache_hit_rate": self.cache_hit_rate,
             "pages_loaded": self.pages_loaded,
+            "tasks_run": self.tasks_run,
         }
 
     def summary(self) -> str:
@@ -196,5 +201,6 @@ def run_suite(
             result.cache_hits += run.cache_hits
             result.cache_lookups += run.cache_lookups
             result.pages_loaded += run.pages_loaded
+            result.tasks_run += run.tasks_run
     result.duration_s = time.perf_counter() - start
     return result

@@ -17,8 +17,12 @@ the dict.
 
 Benign scenarios compose multi-user, multi-tab sessions over the three
 case-study applications: logins, topic posting, replies, private messages,
-calendar events, blog comments, link clicks and read-only XHR probes, all
-interleaved across 1-3 actors.  Attack scenarios embed one attack from the
+calendar events, blog comments, link clicks and read-only XHR probes --
+synchronous *and* asynchronous (``xhr_async`` leaves the completion queued
+on the tab's event loop until a later ``advance_time`` / ``drain`` step
+runs it) -- all interleaved across 1-3 actors.  Every scenario also draws
+an ``interleave`` seed that permutes same-due event-loop tasks, so the
+suite explores diverse but perfectly replayable task orderings.  Attack scenarios embed one attack from the
 :mod:`repro.attacks` corpus inside such a session: bystanders act before
 (and between) the plant and the victim's fatal browse, exactly the
 interleaving a real deployment would see.
@@ -186,6 +190,7 @@ class ScenarioGenerator:
             actors=actors,
             steps=steps,
             replay=f"{self.seed}:{index}" + (":benign" if forced_benign else ""),
+            interleave=self._interleave(rng),
         )
 
     def _attack_scenario(self, rng: random.Random, index: int) -> Scenario:
@@ -230,7 +235,22 @@ class ScenarioGenerator:
             steps=steps,
             replay=f"{self.seed}:{index}",
             attack_name=attack.name,
+            interleave=self._interleave(rng),
         )
+
+    @staticmethod
+    def _interleave(rng: random.Random) -> int:
+        """The scenario's task-ordering seed.
+
+        Drawn *last* (after every step), so the field itself shifts no
+        earlier draw.  (What a ``(seed, index)`` token maps to still moved
+        in this revision because the benign *vocabulary* grew -- replay
+        tokens are only ever stable relative to the generator configuration;
+        see the module docstring.  Pinned full specs are the durable form.)
+        Always non-zero: every generated scenario carries an explicit
+        ordering.
+        """
+        return rng.randint(1, 2**31 - 1)
 
     def _browse_path(self, rng: random.Random, app_key: str) -> str:
         paths = {
@@ -255,9 +275,9 @@ class ScenarioGenerator:
             "blog": (),
         }[app_key]
         anonymous = {
-            "phpbb": ("visit", "click_topic", "xhr_get"),
-            "phpcalendar": ("visit", "xhr_get"),
-            "blog": ("visit", "comment"),
+            "phpbb": ("visit", "click_topic", "xhr_get", "xhr_async", "advance_time", "drain"),
+            "phpcalendar": ("visit", "xhr_get", "xhr_async", "drain"),
+            "blog": ("visit", "comment", "advance_time"),
         }[app_key]
         pool = anonymous + needs_login + ("login",)
         action = rng.choice(pool)
@@ -274,6 +294,16 @@ class ScenarioGenerator:
         if action == "xhr_get":
             path = "/api/unread" if app_key == "phpbb" else "/api/event_count"
             return make_step(actor, "xhr_get", path=path, tab=-1)
+        if action == "xhr_async":
+            # The completion stays queued on the tab's loop until a later
+            # advance_time/drain step (by any schedule) runs it -- or the
+            # scenario ends with it pending, which must also be deterministic.
+            path = "/api/unread" if app_key == "phpbb" else "/api/event_count"
+            return make_step(actor, "xhr_async", path=path, tab=-1)
+        if action == "advance_time":
+            return make_step(actor, "advance_time", ms=rng.choice(("1", "5", "10")), tab=-1)
+        if action == "drain":
+            return make_step(actor, "drain", tab=-1)
         if action == "post_topic":
             return make_step(actor, "post_topic", subject=rng.choice(_TOPICS), message=body)
         if action == "reply":

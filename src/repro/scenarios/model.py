@@ -127,20 +127,27 @@ ACTIONS = (
     "create_event", # {date, title, description}    (phpcalendar, logged in)
     "comment",      # {post, author, body}          (blog)
     "xhr_get",      # {path}      -- ad-hoc script issues a read-only XHR
+    "xhr_async",    # {path}      -- async XHR; completion stays queued on the tab's loop
+    "advance_time", # {ms}        -- advance the tab's virtual clock, running due tasks
+    "drain",        # {}          -- run the tab's event loop to quiescence
     "attack_plant",
     "attack_victim",
 )
+
+#: Actions that act on an already-open tab (every other action opens its
+#: own tab; the runner rejects specs that set ``tab`` on those).
+TAB_ACTIONS = ("xhr_get", "xhr_async", "advance_time", "drain")
 
 
 @dataclass(frozen=True)
 class Step:
     """One action by one actor.
 
-    ``tab`` is only meaningful for ``xhr_get`` (the one action that acts on
-    an already-open tab): an index into the actor's open-tab list (the
-    browser's ``loaded`` list), ``-1`` meaning the most recent tab.  Every
-    other action opens its own tab; the runner rejects specs that set ``tab``
-    on them.
+    ``tab`` is only meaningful for the :data:`TAB_ACTIONS` (the actions that
+    act on an already-open tab): an index into the actor's open-tab list
+    (the browser's ``loaded`` list), ``-1`` meaning the most recent tab.
+    Every other action opens its own tab; the runner rejects specs that set
+    ``tab`` on them.
     """
 
     actor: str
@@ -206,6 +213,9 @@ class Scenario:
     replay: str = ""
     #: Name of the injected attack (attack scenarios only).
     attack_name: str | None = None
+    #: Seed for the event loop's same-due task permutation (0 = plain FIFO).
+    #: Part of the spec, so a replay reproduces the exact interleaving.
+    interleave: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("benign", "attack"):
@@ -243,6 +253,8 @@ class Scenario:
             data["replay"] = self.replay
         if self.attack_name:
             data["attack_name"] = self.attack_name
+        if self.interleave:
+            data["interleave"] = int(self.interleave)
         return data
 
     def canonical_json(self) -> str:
@@ -259,4 +271,5 @@ class Scenario:
             steps=[Step.from_dict(entry) for entry in data.get("steps", [])],
             replay=data.get("replay", ""),
             attack_name=data.get("attack_name"),
+            interleave=int(data.get("interleave", 0)),
         )

@@ -92,6 +92,7 @@ def _run_shard(config: dict) -> dict:
         "cache_hits": suite.cache_hits,
         "cache_lookups": suite.cache_lookups,
         "pages_loaded": suite.pages_loaded,
+        "tasks_run": suite.tasks_run,
     }
 
 
@@ -211,6 +212,7 @@ def run_suite_parallel(
         result.cache_hits += report["cache_hits"]
         result.cache_lookups += report["cache_lookups"]
         result.pages_loaded += report["pages_loaded"]
+        result.tasks_run += report["tasks_run"]
         shard_duration = report["duration_s"]
         result.shard_stats.append(
             {

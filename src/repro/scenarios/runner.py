@@ -29,7 +29,7 @@ from repro.attacks.harness import Attack, AttackEnvironment, AttackResult, build
 from repro.browser.browser import Browser, LoadedPage
 
 from .generator import attack_by_name
-from .model import ModelSpec, Scenario, Step, resolve_models
+from .model import TAB_ACTIONS, ModelSpec, Scenario, Step, resolve_models
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,10 @@ class ScenarioRun:
     cache_hits: int = 0
     cache_lookups: int = 0
     pages_loaded: int = 0
+    #: Event-loop macrotasks executed across every page of the run (timers,
+    #: queued XHR completions, event dispatches) -- part of the parity
+    #: report, so shards must reproduce the task schedule exactly.
+    tasks_run: int = 0
     attack_result: AttackResult | None = None
     #: Denials recorded by the victim's browser since the attack was planted.
     attack_denials: list[DenialRecord] = field(default_factory=list)
@@ -103,6 +107,10 @@ class ScenarioRunner:
             scenario.app_key, spec.browser_model, escudo_app=spec.escudo_app
         )
         env.victim = scenario.victim.name
+        # Every actor's browser seeds its pages' event loops with the
+        # scenario's interleave key, so task orderings are part of the spec:
+        # the same scenario replays the same schedule under every model.
+        env.browser.interleave_seed = scenario.interleave or None
         browsers: dict[str, Browser] = {scenario.victim.name: env.browser}
 
         attack_result: AttackResult | None = None
@@ -141,6 +149,7 @@ class ScenarioRunner:
                 run.pages_loaded += 1
                 run.mediations += tab.page.monitor.stats.total
                 run.denied += tab.page.monitor.stats.denied
+                run.tasks_run += tab.page.event_loop.stats.tasks_run
                 info = tab.page.monitor.cache_info()
                 if info is not None:
                     run.cache_hits += info.hits
@@ -159,14 +168,17 @@ class ScenarioRunner:
     ) -> None:
         browser = browsers.get(step.actor)
         if browser is None:
-            browser = Browser(env.network, model=browser_model)
+            browser = Browser(
+                env.network, model=browser_model, interleave_seed=scenario.interleave or None
+            )
             browsers[step.actor] = browser
         origin = env.app.origin
         action = step.action
-        if step.tab != -1 and action != "xhr_get":
-            # Only xhr_get acts on an existing tab; every other action opens
-            # its own.  A spec that says otherwise is wrong -- fail loudly
-            # instead of replaying an interaction the spec never described.
+        if step.tab != -1 and action not in TAB_ACTIONS:
+            # Only the tab actions act on an existing tab; every other action
+            # opens its own.  A spec that says otherwise is wrong -- fail
+            # loudly instead of replaying an interaction the spec never
+            # described.
             raise ValueError(
                 f"step {action!r} does not act on a tab; remove tab={step.tab} from the spec"
             )
@@ -220,11 +232,34 @@ class ScenarioRunner:
                 {"author": step.param("author", step.actor), "body": step.param("body")},
                 as_user=True,
             )
-        elif action == "xhr_get":
+        elif action in TAB_ACTIONS:
+            # One resolution for the whole tab-action group: the addressed
+            # tab, or a fresh "/" tab when the actor has none open yet.
             loaded = self._pick_tab(browser, step.tab) or browser.load(f"{origin}/")
-            path = step.param("path", "/")
-            source = f"var xhr = new XMLHttpRequest(); xhr.open('GET', '{path}'); xhr.send();"
-            browser.run_script(loaded, source, description=f"scenario xhr probe {path}")
+            if action == "xhr_get":
+                path = step.param("path", "/")
+                source = f"var xhr = new XMLHttpRequest(); xhr.open('GET', '{path}'); xhr.send();"
+                # The sync probe completes inline through the loop's
+                # run_task path; drain=False so deferred work other steps
+                # queued stays queued until its advance_time/drain step.
+                browser.run_script(
+                    loaded, source, description=f"scenario xhr probe {path}", drain=False
+                )
+            elif action == "xhr_async":
+                # The async probe's completion stays queued on the tab's
+                # event loop; a later advance_time/drain step -- or nothing,
+                # which is equally deterministic -- runs it.
+                path = step.param("path", "/")
+                source = (
+                    f"var xhr = new XMLHttpRequest(); xhr.open('GET', '{path}', true); xhr.send();"
+                )
+                browser.run_script(
+                    loaded, source, description=f"scenario async xhr probe {path}", drain=False
+                )
+            elif action == "advance_time":
+                browser.advance_time(loaded, float(step.param("ms", "10")))
+            else:  # "drain"
+                browser.drain(loaded)
         else:  # pragma: no cover - the model validates actions up front
             raise ValueError(f"unhandled scenario action {action!r}")
 

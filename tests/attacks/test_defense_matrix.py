@@ -40,6 +40,10 @@ GOLDEN_MATRIX: dict[str, tuple[str, str]] = {
     "phpbb-node-splitting": ("blocked", "succeeded"),
     "phpbb-privilege-remap-own-ring": ("blocked", "succeeded"),
     "phpbb-privilege-mint-child": ("blocked", "succeeded"),
+    # Deferred/TOCTOU attacks through the event loop: the forged request is
+    # queued behind a policy revocation and must be decided -- and blocked --
+    # against the policy at completion time.
+    "phpbb-xss-toctou-deferred-post": ("blocked", "succeeded"),
 }
 
 

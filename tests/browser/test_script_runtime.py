@@ -131,14 +131,71 @@ class TestWindowBindings:
         browser.run_script(loaded, "location.href = 'http://evil.example.net/phish';", ring=3)
         assert "http://evil.example.net/phish" in loaded.runtime.observations.navigation_targets()
 
-    def test_set_timeout_runs_synchronously(self, loaded_scripted_page):
+    def test_set_timeout_defers_past_the_registering_script(self, loaded_scripted_page):
+        """The callback runs when the loop drains, not inside the script."""
         browser, loaded = loaded_scripted_page
         run = browser.run_script(
             loaded,
-            "var hit = 'no'; window.setTimeout(function () { hit = 'yes'; }, 1000); hit;",
+            "var hit = 'no';"
+            "window.setTimeout(function () { hit = 'yes'; console.log('timer ' + hit); }, 1000);"
+            "hit;",
             ring=1,
         )
-        assert run.result.value == "yes"
+        # Read at script end: the callback had not run yet (the old runtime
+        # executed it synchronously and returned 'yes' here).
+        assert run.result.value == "no"
+        # run_script drained the loop afterwards, so the callback did fire.
+        assert "timer yes" in loaded.runtime.observations.console
+        assert loaded.page.event_loop.stats.timers_fired >= 1
+
+    def test_clear_timeout_cancels_a_pending_timer(self, loaded_scripted_page):
+        browser, loaded = loaded_scripted_page
+        browser.run_script(
+            loaded,
+            "var id = setTimeout(function () { console.log('should not run'); }, 50);"
+            "clearTimeout(id);",
+            ring=1,
+        )
+        assert "should not run" not in loaded.runtime.observations.console
+        assert loaded.page.event_loop.stats.cancelled >= 1
+
+    def test_clear_timeout_cannot_cancel_another_principals_timer(self, loaded_scripted_page):
+        """Timer ids are shared page-wide; cancellation is not.
+
+        A low-privilege script sweeping guessed ids must not cancel another
+        principal's deferred callback -- that would be an unmediated,
+        unaudited interference channel.
+        """
+        browser, loaded = loaded_scripted_page
+        browser.run_script(
+            loaded,
+            "setTimeout(function () { console.log('chrome timer ran'); }, 20);",
+            ring=1,
+            drain=False,
+        )
+        browser.run_script(
+            loaded,
+            "var i = 1; while (i < 50) { clearTimeout(i); i = i + 1; }",
+            ring=3,
+            drain=False,
+        )
+        assert not loaded.page.event_loop.quiescent, "the sweep must not cancel the timer"
+        browser.advance_time(loaded, 20)
+        assert "chrome timer ran" in loaded.runtime.observations.console
+
+    def test_deferred_timer_survives_page_load(self, loaded_scripted_page):
+        """A positive-delay timer scheduled without a drain stays queued."""
+        browser, loaded = loaded_scripted_page
+        browser.run_script(
+            loaded,
+            "setTimeout(function () { console.log('deferred ran'); }, 25);",
+            ring=1,
+            drain=False,
+        )
+        assert "deferred ran" not in loaded.runtime.observations.console
+        assert not loaded.page.event_loop.quiescent
+        browser.advance_time(loaded, 25)
+        assert "deferred ran" in loaded.runtime.observations.console
 
     def test_document_title_and_write(self, loaded_scripted_page):
         browser, loaded = loaded_scripted_page

@@ -6,6 +6,7 @@ import pytest
 
 from repro.browser.browser import Browser
 from repro.browser.xhr import XmlHttpRequest
+from repro.core.config import ResourcePolicy
 from repro.core.rings import Ring
 from repro.http.network import Network
 from repro.scripting.errors import RuntimeScriptError
@@ -150,6 +151,133 @@ class TestXhrFromScripts:
         )
         assert run.succeeded
         assert run.result.value == "fired"
+
+    def test_reused_xhr_after_denial_reports_the_new_verdict(self, loaded_forum):
+        """Regression: ``denied`` was sticky across requests on one object.
+
+        A denied send left ``denied=True`` forever, so a reused XHR
+        misreported later *allowed* requests as denied.  ``open()`` (and a
+        fresh ``send()``) must reset the per-request state.
+        """
+        browser, server, loaded = loaded_forum
+        page = loaded.page
+        xhr = make_xhr(browser, loaded, ring=3)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert xhr.denied, "ring 3 must be denied under the default API policy"
+
+        # The policy swap: the server relabels XMLHttpRequest to permit ring 3.
+        page.set_api_policy("XMLHttpRequest", ResourcePolicy.uniform(3))
+
+        xhr.js_call("open", ["GET", "/api/unread"])
+        assert not xhr.denied, "open() must clear the previous denial"
+        xhr.js_call("send", [])
+        assert not xhr.denied
+        assert xhr.js_get("status") == 200
+        assert xhr.js_get("responseText") == "3"
+        assert [r for r in server.requests if r.url.path == "/api/unread"], (
+            "the permitted resend must reach the network"
+        )
+
+    def test_resend_without_reopen_also_clears_the_stale_denial(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        page = loaded.page
+        xhr = make_xhr(browser, loaded, ring=3)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert xhr.denied
+        page.set_api_policy("XMLHttpRequest", ResourcePolicy.uniform(3))
+        xhr.js_call("send", [])  # same object, no open() in between
+        assert not xhr.denied
+        assert xhr.js_get("status") == 200
+
+    def test_abort_cancels_a_queued_async_completion(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        before = len(server.requests)
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread", True])
+        xhr.js_call("send", [])
+        assert xhr.js_get("readyState") == 2
+        xhr.js_call("abort", [])
+        loaded.page.event_loop.drain()
+        assert len(server.requests) == before, "the aborted completion must never fire"
+        assert xhr.js_get("readyState") == 0
+        assert loaded.page.event_loop.stats.cancelled >= 1
+
+    def test_send_after_abort_without_reopen_is_a_script_error(self, loaded_forum):
+        """abort() disarms the object -- it must not replay the aborted request."""
+        browser, server, loaded = loaded_forum
+        before = len(server.requests)
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["POST", "/posting", True])
+        xhr.js_call("send", [])
+        xhr.js_call("abort", [])
+        with pytest.raises(RuntimeScriptError):
+            xhr.js_call("send", [])
+        loaded.page.event_loop.drain()
+        assert len(server.requests) == before, "the aborted mutation must never be replayed"
+
+    def test_abort_then_resend_reuses_the_object_cleanly(self, loaded_forum):
+        browser, server, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread", True])
+        xhr.js_call("send", [])
+        xhr.js_call("abort", [])
+        assert not xhr.denied
+        assert xhr.js_call("getResponseHeader", ["Content-Type"]) is None
+
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert xhr.js_get("status") == 200
+        assert xhr.js_get("responseText") == "3"
+        api_requests = [r for r in server.requests if r.url.path == "/api/unread"]
+        assert len(api_requests) == 1, "only the resend hits the network"
+
+    def test_denied_resend_does_not_leak_previous_response_headers(self, loaded_forum):
+        """The allowed -> denied direction of the sticky-state bug."""
+        browser, _, loaded = loaded_forum
+        page = loaded.page
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        assert not xhr.denied
+        xhr._response_headers.set("X-Token", "from-allowed-response")
+
+        # The revocation: XHR drops back to the fail-safe ring-0 policy.
+        page.set_api_policy("XMLHttpRequest", ResourcePolicy.ring_zero())
+        principal = xhr._principal.with_ring(3)
+        xhr._principal = principal
+        xhr.js_call("send", [])  # resend without reopen, now denied
+        assert xhr.denied
+        assert xhr.js_call("getResponseHeader", ["X-Token"]) is None, (
+            "a denied resend must not serve the previous response's headers"
+        )
+
+    def test_abort_clears_buffered_response_headers(self, loaded_forum):
+        browser, _, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        xhr._response_headers.set("X-Test-Buffered", "stale")
+        xhr.js_call("abort", [])
+        assert xhr.js_call("getResponseHeader", ["X-Test-Buffered"]) is None
+
+    def test_reopen_clears_author_request_headers(self, loaded_forum):
+        """open() must not carry request A's headers into request B."""
+        browser, server, loaded = loaded_forum
+        xhr = make_xhr(browser, loaded, ring=1)
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("setRequestHeader", ["X-Token", "secret-for-request-a"])
+        xhr.js_call("send", [])
+        first = [r for r in server.requests if r.url.path == "/api/unread"][-1]
+        assert first.headers.get("X-Token") == "secret-for-request-a"
+
+        xhr.js_call("open", ["GET", "/api/unread"])
+        xhr.js_call("send", [])
+        second = [r for r in server.requests if r.url.path == "/api/unread"][-1]
+        assert second.headers.get("X-Token") is None, (
+            "a reopened XHR must not replay the previous request's headers"
+        )
 
     def test_cross_origin_xhr_target_is_resolved_against_the_page(self, loaded_forum):
         browser, _, loaded = loaded_forum

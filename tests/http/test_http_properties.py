@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core.origin import Origin
 from repro.http.cookies import Cookie, CookieJar, format_cookie_header, parse_set_cookie
 from repro.http.headers import Headers
-from repro.http.url import Url, encode_query
+from repro.http.url import Url, _parse_query, _quote, _unquote, encode_query
 
 # -- strategies -----------------------------------------------------------------------
 
@@ -73,6 +73,71 @@ class TestUrlProperties:
     @given(urls(), urls())
     def test_resolving_an_absolute_url_ignores_the_base(self, base: Url, target: Url):
         assert base.resolve(str(target)).origin == target.origin
+
+
+# -- percent-encoding properties ------------------------------------------------------------
+
+#: Arbitrary printable text, including multi-byte UTF-8 (CJK, emoji) and the
+#: characters the encoder treats specially (%, +, space, &, =).
+printable_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="\x00"),
+    max_size=40,
+)
+
+
+class TestPercentEncodingProperties:
+    @given(printable_text)
+    @settings(max_examples=300)
+    def test_quote_unquote_round_trip(self, text: str):
+        """Any printable string survives quote → unquote byte-for-byte."""
+        assert _unquote(_quote(text)) == text
+
+    @given(printable_text)
+    def test_quoted_form_is_plain_ascii(self, text: str):
+        quoted = _quote(text)
+        assert quoted.isascii()
+        for forbidden in (" ", "&", "=", "#", "?"):
+            assert forbidden not in quoted
+
+    def test_multibyte_utf8_round_trips(self):
+        for text in ("naïve café", "渋谷", "🙂 emoji", "mixed🙂渋谷+plus %percent"):
+            assert _unquote(_quote(text)) == text
+
+    def test_truncated_escapes_pass_through_literally(self):
+        assert _unquote("%A") == "%A"
+        assert _unquote("abc%") == "abc%"
+        assert _unquote("50%") == "50%"
+        assert _unquote("%ZZ") == "%ZZ"
+        assert _unquote("%4") == "%4"
+
+    def test_non_hex_after_percent_is_not_decoded(self):
+        # int(" 1", 16) and int("+1", 16) both parse in Python; the decoder
+        # must be stricter than int() or "% 1" decodes to byte 0x01.
+        assert _unquote("a%+1") == "a% 1"  # '+' is a space, '%' stays literal
+        assert _unquote("%-1") == "%-1"
+
+    def test_plus_and_percent_2b_are_distinct(self):
+        assert _unquote("a+b") == "a b"
+        assert _unquote("a%2Bb") == "a+b"
+        assert _quote("a b") == "a+b"
+        assert _quote("a+b") == "a%2Bb"
+
+    @given(st.dictionaries(query_keys, printable_text, max_size=6))
+    @settings(max_examples=200)
+    def test_encode_parse_query_round_trip(self, params: dict[str, str]):
+        assert _parse_query(encode_query(params)) == params
+
+    def test_duplicate_keys_last_wins(self):
+        """Pinned: ``a=1&a=2`` resolves to the final occurrence."""
+        assert _parse_query("a=1&a=2") == {"a": "2"}
+        assert _parse_query("a=1&b=x&a=3") == {"a": "3", "b": "x"}
+
+    def test_degenerate_query_shapes(self):
+        assert _parse_query("") == {}
+        assert _parse_query("&&") == {}
+        assert _parse_query("a") == {"a": ""}
+        assert _parse_query("a=") == {"a": ""}
+        assert _parse_query("=v") == {"": "v"}
 
 
 # -- header properties ---------------------------------------------------------------------

@@ -77,3 +77,29 @@ class TestScenarioSerialisation:
         assert scenario.actor("bob").name == "bob"
         with pytest.raises(KeyError):
             scenario.actor("mallory")
+
+    def test_async_steps_and_interleave_round_trip(self):
+        scenario = Scenario(
+            name="pinned-async",
+            app_key="phpbb",
+            kind="benign",
+            actors=[Actor("alice")],
+            steps=[
+                make_step("alice", "visit", path="/"),
+                make_step("alice", "xhr_async", path="/api/unread", tab=0),
+                make_step("alice", "advance_time", ms="5", tab=0),
+                make_step("alice", "drain", tab=0),
+            ],
+            interleave=987654321,
+        )
+        data = scenario.to_dict()
+        assert data["interleave"] == 987654321
+        clone = Scenario.from_dict(data)
+        assert clone == scenario
+        assert clone.to_dict() == data  # dump -> load -> dump is stable
+
+    def test_interleave_zero_is_omitted_for_legacy_spec_compatibility(self):
+        scenario = self._scenario()
+        assert scenario.interleave == 0
+        assert "interleave" not in scenario.to_dict()
+        assert Scenario.from_dict(scenario.to_dict()).interleave == 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 
 from repro.scenarios import (
+    ScenarioGenerator,
     load_corpus,
     partition_indices,
     run_suite,
@@ -46,15 +47,52 @@ class TestPartitioning:
 
 class TestSerialParallelParity:
     def test_two_worker_run_matches_serial_report(self):
-        """The satellite lock-in: 50 scenarios, --workers 2, merged == serial."""
+        """The satellite lock-in: 50 scenarios, --workers 2, merged == serial.
+
+        The range deliberately contains *async* scenarios -- deferred XHRs,
+        timers, advance_time/drain steps, seeded task interleavings -- so the
+        parity claim covers event-loop work, not just the synchronous paths.
+        """
+        mix = ScenarioGenerator(seed=SEED, attack_ratio=ATTACK_RATIO).generate(50)
+        async_actions = {"xhr_async", "advance_time", "drain"}
+        assert any(
+            step.action in async_actions for scenario in mix for step in scenario.steps
+        ), "the parity range must include event-loop scenarios"
+        assert all(scenario.interleave for scenario in mix)
+
         serial = run_suite(seed=SEED, count=50, attack_ratio=ATTACK_RATIO)
         parallel = run_suite_parallel(
             seed=SEED, count=50, attack_ratio=ATTACK_RATIO, workers=2, persist_failures=False
         )
         assert serial.ok, serial.summary()
+        assert serial.tasks_run > 0, "event-loop tasks must be part of the report"
         # Byte-identical, not merely equal: compare the canonical encodings.
         assert canonical_spec_json(parallel.parity_dict()) == canonical_spec_json(
             serial.parity_dict()
+        )
+
+    def test_worker_sweep_parity_with_async_scenarios(self):
+        """Same seed => byte-identical parity at 1, 2 and 4 workers."""
+        serial = run_suite(seed=SEED, count=24, attack_ratio=ATTACK_RATIO)
+        baseline = canonical_spec_json(serial.parity_dict())
+        for workers in (1, 2, 4):
+            sharded = run_suite_parallel(
+                seed=SEED,
+                count=24,
+                attack_ratio=ATTACK_RATIO,
+                workers=workers,
+                persist_failures=False,
+            )
+            assert canonical_spec_json(sharded.parity_dict()) == baseline, (
+                f"parity broke at {workers} workers"
+            )
+
+    def test_repeated_serial_runs_are_byte_identical(self):
+        """Two runs of the same seed reproduce verdicts *and* task counts."""
+        first = run_suite(seed=SEED, count=12, attack_ratio=ATTACK_RATIO)
+        second = run_suite(seed=SEED, count=12, attack_ratio=ATTACK_RATIO)
+        assert canonical_spec_json(first.parity_dict()) == canonical_spec_json(
+            second.parity_dict()
         )
 
     def test_single_worker_runs_in_process_and_matches(self):

@@ -159,6 +159,80 @@ class TestAttackDifferential:
         assert any(d.rule == "tamper-protection" for d in run.attack_denials), run.attack_denials
 
 
+def _async_forum_session(interleave: int = 0) -> Scenario:
+    """A session whose XHR work rides the event loop, not the load phase."""
+    return Scenario(
+        name="handwritten-async-session",
+        app_key="phpbb",
+        kind="benign",
+        actors=[Actor("alice"), Actor("bob")],
+        steps=[
+            make_step("alice", "visit", path="/"),
+            make_step("alice", "xhr_async", path="/api/unread", tab=0),
+            make_step("bob", "visit", path="/viewtopic?t=1"),
+            make_step("alice", "advance_time", ms="1", tab=0),
+            make_step("bob", "xhr_async", path="/api/unread", tab=-1),
+            make_step("bob", "drain", tab=-1),
+        ],
+        interleave=interleave,
+    )
+
+
+class TestAsyncSteps:
+    def test_async_session_is_transparent_across_the_matrix(self):
+        runner = ScenarioRunner(models=("escudo", "sop", "none"))
+        scenario = _async_forum_session()
+        runs = runner.run(scenario)
+        verdict = DifferentialOracle().classify(scenario, runs)
+        assert verdict.ok, verdict.reason
+        for run in runs.values():
+            assert run.tasks_run > 0, "the deferred XHRs must run as loop tasks"
+
+    def test_interleave_seed_changes_nothing_semantic(self):
+        runner = ScenarioRunner(models=("escudo",))
+        plain = runner.run_under(_async_forum_session(0), "escudo")
+        seeded = runner.run_under(_async_forum_session(12345), "escudo")
+        assert plain.digest == seeded.digest
+        assert plain.tasks_run == seeded.tasks_run
+
+    def test_advance_without_pending_work_is_a_safe_noop(self):
+        scenario = Scenario(
+            name="handwritten-idle-clock",
+            app_key="blog",
+            kind="benign",
+            actors=[Actor("carol")],
+            steps=[
+                make_step("carol", "visit", path="/"),
+                make_step("carol", "advance_time", ms="10", tab=0),
+                make_step("carol", "drain", tab=0),
+            ],
+        )
+        runs = ScenarioRunner().run(scenario)
+        verdict = DifferentialOracle().classify(scenario, runs)
+        assert verdict.ok, verdict.reason
+
+
+class TestToctouDifferential:
+    """The acceptance scenario: a policy swap between send and completion."""
+
+    def test_toctou_attack_holds_the_differential(self):
+        scenario = _attack_scenario("phpbb-xss-toctou-deferred-post")
+        runs = ScenarioRunner(models=("escudo", "sop", "none")).run(scenario)
+        verdict = DifferentialOracle().classify(scenario, runs)
+        assert verdict.ok, verdict.reason
+        assert runs["escudo"].attack_result is not None
+        assert not runs["escudo"].attack_result.succeeded
+        assert runs["sop"].attack_result.succeeded
+        assert runs["none"].attack_result.succeeded
+
+    def test_toctou_denial_is_attributable_to_a_rule(self):
+        scenario = _attack_scenario("phpbb-xss-toctou-deferred-post")
+        run = ScenarioRunner(models=("escudo",)).run_under(scenario, "escudo")
+        assert run.attack_denials, "the completion-time denial must reach the audit log"
+        assert any(d.rule for d in run.attack_denials)
+        assert any("XMLHttpRequest" in d.object for d in run.attack_denials)
+
+
 class TestOracleFailureModes:
     def _fake_run(self, model: str, digest: str) -> ScenarioRun:
         return ScenarioRun(scenario="s", model=model, digest=digest, snapshot={"content": digest})
