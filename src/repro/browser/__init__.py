@@ -1,6 +1,7 @@
 """Browser substrate: the Lobo-prototype equivalent of the reproduction."""
 
 from .browser import Browser, LoadedPage, make_browser
+from .compile_cache import CachedTemplate, CompileCaches, TemplateCache
 from .history import BrowserHistory, HistoryEntry
 from .labeler import LabelingStats, PageLabeler, document_uses_escudo
 from .loader import LoaderOptions, load_page
@@ -13,6 +14,9 @@ from .xhr import XmlHttpRequest
 __all__ = [
     "Browser",
     "BrowserHistory",
+    "CachedTemplate",
+    "CompileCaches",
+    "TemplateCache",
     "HistoryEntry",
     "LabelingStats",
     "LayoutBox",

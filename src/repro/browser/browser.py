@@ -33,6 +33,7 @@ from repro.http.messages import HttpRequest, HttpResponse
 from repro.http.network import Network
 from repro.http.url import Url
 
+from .compile_cache import CompileCaches
 from .event_loop import EventLoop
 from .history import BrowserHistory
 from .loader import LoaderOptions, load_page
@@ -71,6 +72,7 @@ class Browser:
         max_script_steps: int = 500_000,
         enforce_scoping: bool = True,
         interleave_seed: int | None = None,
+        caches: CompileCaches | None = None,
     ) -> None:
         if model not in ("escudo", "sop", "same-origin"):
             raise ValueError(f"unknown protection model {model!r}")
@@ -86,6 +88,11 @@ class Browser:
         # page's event loop (None = FIFO).  The scenario generator derives it
         # from the scenario seed, so replays reproduce the interleaving.
         self.interleave_seed = interleave_seed
+        # Optional shared compile-cache stack (templates, script ASTs, and a
+        # decision cache every page's monitor shares).  Several browsers --
+        # e.g. all the actors of one scenario worker -- may share one stack;
+        # warm loads are observably identical to cold ones.
+        self.caches = caches
         self.cookie_jar = CookieJar()
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
@@ -131,10 +138,16 @@ class Browser:
             configuration=configuration,
             options=options,
             event_loop=EventLoop(interleave_key=self.interleave_seed),
+            caches=self.caches,
         )
         self.history.record_visit(final_url, title=_page_title(page))
 
-        runtime = ScriptRuntime(self, page, max_steps=self.max_script_steps)
+        runtime = ScriptRuntime(
+            self,
+            page,
+            max_steps=self.max_script_steps,
+            ast_cache=self.caches.scripts if self.caches is not None else None,
+        )
         events = UiEventLayer(page, runtime)
         loaded = LoadedPage(page=page, runtime=runtime, events=events, response=response)
         self.loaded.append(loaded)
@@ -243,10 +256,19 @@ class Browser:
     # -- subresources ------------------------------------------------------------------------
 
     def _fetch_subresources(self, page: Page) -> list[str]:
-        """Fetch ``img``/``iframe``/``embed`` targets (HTTP-request principals)."""
+        """Fetch ``img``/``iframe``/``embed`` targets (HTTP-request principals).
+
+        One tree walk collects all subresource tags (grouped per tag so the
+        fetch order of the old per-tag sweeps is preserved).
+        """
         fetched: list[str] = []
+        by_tag: dict[str, list] = {tag: [] for tag in SUBRESOURCE_TAGS}
+        for element in page.document.elements():
+            bucket = by_tag.get(element.tag_name)
+            if bucket is not None:
+                bucket.append(element)
         for tag in SUBRESOURCE_TAGS:
-            for element in page.document.get_elements_by_tag_name(tag):
+            for element in by_tag[tag]:
                 src = element.get_attribute("src")
                 if not src:
                     continue
@@ -434,6 +456,14 @@ class Browser:
 
 
 def _page_title(page: Page) -> str:
+    # <title> lives in <head>; scanning just the head subtree avoids a
+    # whole-document walk on every load.  Malformed markup (no head, or a
+    # title stranded outside it) falls back to the full scan.
+    head = page.document.head
+    if head is not None:
+        titles = head.get_elements_by_tag_name("title")
+        if titles:
+            return titles[0].text_content
     titles = page.document.get_elements_by_tag_name("title")
     return titles[0].text_content if titles else ""
 

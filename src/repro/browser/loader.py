@@ -21,10 +21,11 @@ from repro.html.parser import TreeBuilder
 from repro.html.tokenizer import tokenize
 from repro.http.url import Url
 
+from .compile_cache import CompileCaches
 from .event_loop import EventLoop
 from .labeler import PageLabeler, document_uses_escudo
 from .page import Page
-from .renderer import Renderer
+from .renderer import Renderer, RenderStats
 
 
 @dataclass
@@ -63,6 +64,7 @@ def load_page(
     options: LoaderOptions | None = None,
     monitor: ReferenceMonitor | None = None,
     event_loop: EventLoop | None = None,
+    caches: CompileCaches | None = None,
 ) -> Page:
     """Run the full pipeline over a response body.
 
@@ -88,11 +90,68 @@ def load_page(
         pass) runs, the browser settles the loop's time-zero horizon so
         immediate tasks complete during load while deferred timers survive
         it.
+    caches:
+        Optional :class:`~repro.browser.compile_cache.CompileCaches` stack.
+        When given, the parse → label → render pipeline is served from the
+        template cache (the page receives an aliasing-free clone of the
+        cached tree), and -- unless an explicit ``monitor`` is passed -- the
+        page's reference monitor shares the stack's decision cache.  A warm
+        load is observably identical to a cold one.
     """
     opts = options or LoaderOptions()
     page_url = url if isinstance(url, Url) else Url.parse(url)
     config = configuration if configuration is not None else PageConfiguration.legacy()
 
+    if caches is not None:
+        document, config, escudo_enabled, labeling_stats, render_stats, validator, ignored = (
+            _compile_cached(body, page_url, config, opts, caches)
+        )
+    else:
+        document, config, escudo_enabled, labeling_stats, render_stats, validator, ignored = (
+            _compile_cold(body, page_url, config, opts)
+        )
+
+    if monitor is not None:
+        page_monitor = monitor
+    elif caches is not None:
+        # The stack's shared policy instance keeps the decision-cache token
+        # stable across pages, so one page's verdicts serve every later page
+        # enforcing the same model.
+        page_monitor = ReferenceMonitor(caches.policy_for(opts), cache=caches.decisions)
+    else:
+        page_monitor = ReferenceMonitor(opts.build_policy())
+    return Page(
+        url=page_url,
+        document=document,
+        configuration=config,
+        monitor=page_monitor,
+        escudo_enabled=escudo_enabled,
+        labeling=labeling_stats,
+        rendering=render_stats,
+        nonce_validator=validator,
+        ignored_end_tags=ignored,
+        event_loop=event_loop if event_loop is not None else EventLoop(),
+    )
+
+
+def _upgraded_for_ac_tags(config: PageConfiguration) -> PageConfiguration:
+    """Upgrade a legacy header configuration for a page using AC tags.
+
+    The page opted in purely through AC tags (the paper's "static page"
+    configuration path, with no optional headers).  The header-derived
+    configuration is still the legacy single-ring one at this point, so
+    upgrade it to the default ring universe or every declared ring would be
+    clamped to 0 and the configuration silently voided.
+    """
+    return PageConfiguration(
+        cookie_policies=dict(config.cookie_policies),
+        api_policies=dict(config.api_policies),
+        escudo_enabled=True,
+    )
+
+
+def _compile_cold(body: str, page_url: Url, config: PageConfiguration, opts: LoaderOptions):
+    """The original uncached pipeline: parse, decide, label, render."""
     # 1. Parse.  Nonce validation happens during tree construction because
     #    a rejected </div> changes the resulting tree shape.
     validator = NonceValidator()
@@ -107,16 +166,7 @@ def load_page(
         config.escudo_enabled or document_uses_escudo(document)
     )
     if escudo_enabled and not config.escudo_enabled:
-        # The page opted in purely through AC tags (the paper's "static page"
-        # configuration path, with no optional headers).  The header-derived
-        # configuration is still the legacy single-ring one at this point, so
-        # upgrade it to the default ring universe or every declared ring
-        # would be clamped to 0 and the configuration silently voided.
-        config = PageConfiguration(
-            cookie_policies=dict(config.cookie_policies),
-            api_policies=dict(config.api_policies),
-            escudo_enabled=True,
-        )
+        config = _upgraded_for_ac_tags(config)
 
     # 3. Label (extract + track security contexts).
     labeler = PageLabeler(
@@ -128,24 +178,54 @@ def load_page(
     labeling_stats = labeler.label_document(document)
 
     # 4. Render.
-    renderer = Renderer(viewport_width=opts.viewport_width)
     if opts.render:
-        _, render_stats = renderer.render(document)
+        _, render_stats = Renderer(viewport_width=opts.viewport_width).render(document)
     else:
-        from .renderer import RenderStats
-
         render_stats = RenderStats()
+    return (
+        document,
+        config,
+        escudo_enabled,
+        labeling_stats,
+        render_stats,
+        validator,
+        builder.ignored_end_tags,
+    )
 
-    page_monitor = monitor if monitor is not None else ReferenceMonitor(opts.build_policy())
-    return Page(
-        url=page_url,
-        document=document,
+
+def _compile_cached(
+    body: str,
+    page_url: Url,
+    config: PageConfiguration,
+    opts: LoaderOptions,
+    caches: CompileCaches,
+):
+    """The warm pipeline: same four stages, each served from the stack."""
+    template = caches.templates.entry(body, str(page_url))
+    escudo_enabled = bool(opts.escudo_bookkeeping) and (
+        config.escudo_enabled or template.uses_escudo
+    )
+    if escudo_enabled and not config.escudo_enabled:
+        config = _upgraded_for_ac_tags(config)
+    document, labeling_stats = caches.templates.labeled_tree(
+        template,
+        origin=page_url.origin,
         configuration=config,
-        monitor=page_monitor,
         escudo_enabled=escudo_enabled,
-        labeling=labeling_stats,
-        rendering=render_stats,
-        nonce_validator=validator,
-        ignored_end_tags=builder.ignored_end_tags,
-        event_loop=event_loop if event_loop is not None else EventLoop(),
+        enforce_scoping=opts.enforce_scoping,
+    )
+    if opts.render:
+        render_stats = caches.templates.render_stats(
+            template, viewport_width=opts.viewport_width
+        )
+    else:
+        render_stats = RenderStats()
+    return (
+        document,
+        config,
+        escudo_enabled,
+        labeling_stats,
+        render_stats,
+        template.make_validator(replay=bool(opts.escudo_bookkeeping)),
+        template.ignored_end_tags,
     )

@@ -30,8 +30,10 @@ from typing import Callable
 from repro.core.context import SecurityContext
 from repro.dom.dom_api import DomApi, ElementHandle
 from repro.dom.element import Element
-from repro.scripting.errors import RuntimeScriptError
+from repro.scripting.cache import ScriptAstCache
+from repro.scripting.errors import RuntimeScriptError, ScriptError
 from repro.scripting.interpreter import (
+    ExecutionResult,
     HostObject,
     Interpreter,
     NativeConstructor,
@@ -450,10 +452,21 @@ class _PrincipalEnvironment:
 class ScriptRuntime:
     """Runs all the script principals of one page."""
 
-    def __init__(self, browser, page: Page, *, max_steps: int = 500_000) -> None:
+    def __init__(
+        self,
+        browser,
+        page: Page,
+        *,
+        max_steps: int = 500_000,
+        ast_cache: ScriptAstCache | None = None,
+    ) -> None:
         self.browser = browser
         self.page = page
         self.max_steps = max_steps
+        #: Optional shared front-end cache: repeated executions of the same
+        #: source (re-loaded pages, replayed handlers, re-armed timers) skip
+        #: lexing and parsing entirely.
+        self.ast_cache = ast_cache
         self.observations = RuntimeObservations()
         # Resolved once per runtime: every principal's DOM facade shares the
         # same API object context, and building it per script execution costs
@@ -478,7 +491,7 @@ class ScriptRuntime:
     def execute(self, source: str, principal: SecurityContext, *, description: str = "inline script") -> ScriptRun:
         """Execute one script under ``principal`` and record the run."""
         environment = _PrincipalEnvironment(self, principal)
-        result = environment.interpreter.run(source)
+        result = self._run_source(environment.interpreter, source)
         run = ScriptRun(description=description, principal=principal, result=result)
         self.page.script_runs.append(run)
         return run
@@ -488,12 +501,27 @@ class ScriptRuntime:
         """Execute an inline event handler with ``event`` bound."""
         environment = _PrincipalEnvironment(self, principal)
         environment.interpreter.globals.define("event", event_payload)
-        result = environment.interpreter.run(source)
+        result = self._run_source(environment.interpreter, source)
         run = ScriptRun(description=description, principal=principal, result=result)
         self.page.script_runs.append(run)
         return run
 
     # -- helpers --------------------------------------------------------------------------------
+
+    def _run_source(self, interpreter: Interpreter, source: str) -> ExecutionResult:
+        """Run ``source``, front-ending through the AST cache when one is set.
+
+        The cached path is observably identical to ``interpreter.run(source)``:
+        a (possibly memoised) parse error yields the same failed
+        :class:`ExecutionResult` a cold parse would.
+        """
+        if self.ast_cache is None:
+            return interpreter.run(source)
+        try:
+            program = self.ast_cache.parse(source)
+        except ScriptError as error:
+            return ExecutionResult(error=error, completed=False)
+        return interpreter.run(program)
 
     def _script_source(self, script_element: Element) -> str:
         """Inline source, or the fetched body of a ``src`` script."""

@@ -67,22 +67,31 @@ class XmlHttpRequest(HostObject):
 
     # -- script-facing protocol ------------------------------------------------------
 
+    #: Method properties (wrapped lazily per access; the dynamic fields are
+    #: answered directly so a property read does not build every wrapper).
+    _METHODS = {
+        "open": "_open",
+        "send": "_send",
+        "setRequestHeader": "_set_request_header",
+        "getResponseHeader": "_get_response_header",
+        "abort": "_abort",
+    }
+
     def js_get(self, name: str):
-        members = {
-            "open": NativeFunction(self._open, "open"),
-            "send": NativeFunction(self._send, "send"),
-            "setRequestHeader": NativeFunction(self._set_request_header, "setRequestHeader"),
-            "getResponseHeader": NativeFunction(self._get_response_header, "getResponseHeader"),
-            "abort": NativeFunction(self._abort, "abort"),
-            "status": self.status,
-            "responseText": self.response_text,
-            "readyState": self.ready_state,
-            "onload": self._onload,
-            "onreadystatechange": self._onreadystatechange,
-        }
-        if name not in members:
+        if name == "status":
+            return self.status
+        if name == "responseText":
+            return self.response_text
+        if name == "readyState":
+            return self.ready_state
+        if name == "onload":
+            return self._onload
+        if name == "onreadystatechange":
+            return self._onreadystatechange
+        method = self._METHODS.get(name)
+        if method is None:
             raise RuntimeScriptError(f"XMLHttpRequest has no property {name!r}")
-        return members[name]
+        return NativeFunction(getattr(self, method), name)
 
     def js_set(self, name: str, value) -> None:
         if name == "onload":

@@ -24,6 +24,7 @@ Applying those values to a live DOM tree is the job of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Mapping
 
 from .acl import Acl, parse_acl_attributes
@@ -203,20 +204,57 @@ class PageConfiguration:
         Unknown headers are ignored; a page is considered ESCUDO-enabled when
         any of the ESCUDO headers is present.  (AC tags in the body can also
         enable ESCUDO -- the loader ORs that in separately.)
+
+        Header parsing is memoised on the ESCUDO header values (applications
+        emit the same handful of configurations on every response), but each
+        call returns an independent configuration: callers mutate their copy
+        (``set_api_policy`` relabels mid-session), so prototypes share only
+        immutable pieces (the ring universe and the frozen policies).
         """
         normalized = {str(k).lower(): v for k, v in headers.items()}
-        ring_header = normalized.get(RINGS_HEADER.lower())
-        cookie_header = normalized.get(COOKIE_POLICY_HEADER.lower())
-        api_header = normalized.get(API_POLICY_HEADER.lower())
+        return cls.from_header_values(
+            normalized.get(RINGS_HEADER.lower()),
+            normalized.get(COOKIE_POLICY_HEADER.lower()),
+            normalized.get(API_POLICY_HEADER.lower()),
+        )
 
-        enabled = any(value is not None for value in (ring_header, cookie_header, api_header))
-        rings = _parse_rings_header(ring_header)
-        config = cls(rings=rings, escudo_enabled=enabled)
-        if cookie_header:
-            config.cookie_policies.update(parse_policy_header(cookie_header, rings))
-        if api_header:
-            config.api_policies.update(parse_policy_header(api_header, rings))
-        return config
+    @classmethod
+    def from_header_values(
+        cls,
+        ring_header: str | None,
+        cookie_header: str | None,
+        api_header: str | None,
+    ) -> "PageConfiguration":
+        """Like :meth:`from_headers` for already-extracted header values.
+
+        The hot path for response processing: callers holding a
+        :class:`~repro.http.headers.Headers` object fetch the three ESCUDO
+        headers directly instead of materialising an intermediate dict.
+        """
+        prototype = _configuration_prototype(ring_header, cookie_header, api_header)
+        return cls(
+            rings=prototype.rings,
+            cookie_policies=dict(prototype.cookie_policies),
+            api_policies=dict(prototype.api_policies),
+            escudo_enabled=prototype.escudo_enabled,
+        )
+
+    # -- identity ------------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """Hashable value identity of this configuration.
+
+        Two configurations with equal fingerprints label a page identically,
+        which is what the browser's template cache keys labelled DOM variants
+        on.  Everything inside is immutable (ints, frozen policies), so the
+        fingerprint is stable for dict keys.
+        """
+        return (
+            self.escudo_enabled,
+            self.rings.highest_level,
+            tuple(sorted(self.cookie_policies.items())),
+            tuple(sorted(self.api_policies.items())),
+        )
 
     # -- serialisation ------------------------------------------------------------
 
@@ -234,6 +272,21 @@ class PageConfiguration:
         if self.api_policies:
             headers[API_POLICY_HEADER] = format_policy_header(self.api_policies)
         return headers
+
+
+@lru_cache(maxsize=512)
+def _configuration_prototype(
+    ring_header: str | None, cookie_header: str | None, api_header: str | None
+) -> PageConfiguration:
+    """Parse one distinct ESCUDO header combination (shared, treated read-only)."""
+    enabled = any(value is not None for value in (ring_header, cookie_header, api_header))
+    rings = _parse_rings_header(ring_header)
+    config = PageConfiguration(rings=rings, escudo_enabled=enabled)
+    if cookie_header:
+        config.cookie_policies.update(parse_policy_header(cookie_header, rings))
+    if api_header:
+        config.api_policies.update(parse_policy_header(api_header, rings))
+    return config
 
 
 def _parse_rings_header(value: str | None) -> RingSet:

@@ -26,6 +26,38 @@ class Document(Node):
         self.url = url
         self.owner_document = self
         self.doctype: str | None = None
+        # Lazy id -> element index (first occurrence in document order).
+        # ``getElementById`` is the hottest DOM query of the script and
+        # attack-predicate workloads; structural mutations and ``id``
+        # attribute writes drop the index (see Node/Element hooks), so it can
+        # never serve a stale element.
+        self._id_index: dict[str, Element] | None = None
+
+    # -- cloning -------------------------------------------------------------------
+
+    def clone(self, *, owner=None) -> "Document":
+        """Deep copy of the whole document tree.
+
+        Every node in the copy is a fresh object owned by the cloned
+        document; the result is structurally equal to re-parsing the
+        document's serialisation, and mutating either tree never affects the
+        other.  This is the fast path the HTML template cache uses to serve
+        one parsed tree to many page loads.  ``owner`` is ignored -- a
+        document owns itself.
+        """
+        copy = type(self).__new__(type(self))
+        copy.parent = None
+        copy.children = []
+        copy.url = self.url
+        copy.owner_document = copy
+        copy.doctype = self.doctype
+        copy._id_index = None
+        copied_children = copy.children
+        for child in self.children:
+            child_copy = child.clone(owner=copy)
+            child_copy.parent = copy
+            copied_children.append(child_copy)
+        return copy
 
     # -- identity ------------------------------------------------------------------
 
@@ -99,12 +131,21 @@ class Document(Node):
             if isinstance(node, Element):
                 yield node
 
+    def invalidate_id_index(self) -> None:
+        """Drop the id lookup index (called on mutation; rebuilt lazily)."""
+        self._id_index = None
+
     def get_element_by_id(self, element_id: str) -> Optional[Element]:
-        """First element with the given ``id``."""
-        for element in self.elements():
-            if element.id == element_id:
-                return element
-        return None
+        """First element with the given ``id`` (served from the lazy index)."""
+        index = self._id_index
+        if index is None:
+            index = {}
+            for element in self.elements():
+                eid = element.id
+                if eid is not None and eid not in index:
+                    index[eid] = element
+            self._id_index = index
+        return index.get(element_id)
 
     def get_elements_by_tag_name(self, tag_name: str) -> list[Element]:
         """Every element with the given tag name."""

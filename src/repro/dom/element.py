@@ -49,6 +49,16 @@ class Element(Node):
                 self._attributes[str(name).lower()] = str(value)
         self._security_context: SecurityContext | None = None
 
+    def _clone_shallow(self) -> "Element":
+        clone = super()._clone_shallow()
+        clone.tag_name = self.tag_name
+        clone._attributes = dict(self._attributes)
+        # Security contexts are frozen values, so sharing the reference keeps
+        # the clone aliasing-free; an unlabelled element clones unlabelled
+        # (the labelling engine assigns the clone's context exactly once).
+        clone._security_context = self._security_context
+        return clone
+
     # -- attributes (unmediated; browser-internal use only) -------------------------
 
     def get_attribute(self, name: str) -> str | None:
@@ -57,11 +67,16 @@ class Element(Node):
 
     def set_attribute(self, name: str, value: str) -> None:
         """Raw attribute write (browser-internal; scripts go through the facade)."""
-        self._attributes[name.lower()] = str(value)
+        lowered = name.lower()
+        self._attributes[lowered] = str(value)
+        if lowered == "id":
+            self._note_tree_change()
 
     def remove_attribute(self, name: str) -> None:
         """Raw attribute removal."""
-        self._attributes.pop(name.lower(), None)
+        lowered = name.lower()
+        if self._attributes.pop(lowered, None) is not None and lowered == "id":
+            self._note_tree_change()
 
     def has_attribute(self, name: str) -> bool:
         """True when the attribute exists (even if empty)."""

@@ -32,6 +32,13 @@ _TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
 #: Characters that must be escaped inside double-quoted attribute values.
 _ATTR_ESCAPES = {"&": "&amp;", '"': "&quot;", "<": "&lt;", ">": "&gt;"}
 
+#: ``str.translate`` tables for the escapes: escaping runs on every piece of
+#: text a template renders and every text node a page serialises, and the
+#: C-level translate beats a per-character generator join by an order of
+#: magnitude on clean text.
+_TEXT_ESCAPE_TABLE = str.maketrans(_TEXT_ESCAPES)
+_ATTR_ESCAPE_TABLE = str.maketrans(_ATTR_ESCAPES)
+
 
 def decode_entities(text: str) -> str:
     """Replace character references in ``text`` with the characters they name.
@@ -92,9 +99,9 @@ def escape_text(text: str) -> str:
     of defense"); the defence-effectiveness experiments switch it off to
     demonstrate ESCUDO catching what filtering misses.
     """
-    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in text)
+    return text.translate(_TEXT_ESCAPE_TABLE)
 
 
 def escape_attribute(value: str) -> str:
     """Escape an attribute value for inclusion in double quotes."""
-    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
+    return value.translate(_ATTR_ESCAPE_TABLE)

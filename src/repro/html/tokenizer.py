@@ -85,6 +85,9 @@ class _Tokenizer:
         self._text = markup
         self._pos = 0
         self._length = len(markup)
+        # Lazily lowered copy for raw-text end-tag searches: lowering the
+        # whole document once beats re-lowering it per <script>/<title>.
+        self._lowered: str | None = None
 
     def tokens(self) -> Iterator[Token]:
         while self._pos < self._length:
@@ -181,11 +184,15 @@ class _Tokenizer:
                 if pos < self._length and text[pos] in "\"'":
                     quote = text[pos]
                     pos += 1
-                    value_start = pos
-                    while pos < self._length and text[pos] != quote:
-                        pos += 1
-                    value = text[value_start:pos]
-                    pos += 1 if pos < self._length else 0
+                    # find() scans the quoted value at C speed; attribute
+                    # values (nonces, ids, rings) are the long spans here.
+                    close = text.find(quote, pos)
+                    if close == -1:
+                        value = text[pos:]
+                        pos = self._length
+                    else:
+                        value = text[pos:close]
+                        pos = close + 1
                 else:
                     value_start = pos
                     while pos < self._length and text[pos] not in "> \t\r\n":
@@ -199,7 +206,9 @@ class _Tokenizer:
 
     def _consume_raw_text(self, tag_name: str) -> RawTextToken | None:
         """Swallow content up to (not including) ``</tag_name``."""
-        lowered = self._text.lower()
+        lowered = self._lowered
+        if lowered is None:
+            lowered = self._lowered = self._text.lower()
         marker = f"</{tag_name}"
         end = lowered.find(marker, self._pos)
         if end == -1:

@@ -183,7 +183,14 @@ class HttpResponse:
         ``escudo_enabled=False`` (the body may still enable ESCUDO through AC
         tags; the loader handles that).
         """
-        return PageConfiguration.from_headers(self.headers.to_dict())
+        from repro.core.config import API_POLICY_HEADER, COOKIE_POLICY_HEADER, RINGS_HEADER
+
+        headers = self.headers
+        return PageConfiguration.from_header_values(
+            headers.get(RINGS_HEADER),
+            headers.get(COOKIE_POLICY_HEADER),
+            headers.get(API_POLICY_HEADER),
+        )
 
     # -- misc --------------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ compare.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.core.errors import ConfigurationError
 from repro.core.origin import DEFAULT_PORTS, Origin
@@ -104,10 +105,24 @@ class Url:
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def parse(cls, text: str) -> "Url":
-        """Parse an absolute URL string."""
+    def parse(cls, text: "str | Url") -> "Url":
+        """Parse an absolute URL string (memoised).
+
+        An already-parsed :class:`Url` is returned as-is -- callers holding
+        one never pay a stringify/re-parse round-trip.  String parses are
+        served from a bounded LRU: the browser substrate parses the same
+        handful of application URLs on every page load, XHR and cookie
+        check, and ``Url`` is frozen, so sharing instances is safe.
+        """
+        if isinstance(text, Url):
+            return text
         if not isinstance(text, str) or "://" not in text:
             raise ConfigurationError(f"not an absolute URL: {text!r}")
+        return _parse_url_text(text)
+
+    @classmethod
+    def _parse_text(cls, text: str) -> "Url":
+        """The uncached string parser (the LRU's fill path)."""
         scheme, _, rest = text.strip().partition("://")
         scheme = scheme.lower()
         fragment = ""
@@ -136,8 +151,19 @@ class Url:
 
     @property
     def origin(self) -> Origin:
-        """The URL's web origin (scheme, host, port)."""
-        return Origin(scheme=self.scheme, host=self.host, port=self.port)
+        """The URL's web origin (scheme, host, port).
+
+        Computed once per instance: origin comparisons run on every policy
+        check, and memoised ``parse`` shares instances, so the cached value
+        amortises across every consumer of the same URL.  (The cache slot is
+        set via ``object.__setattr__`` because the dataclass is frozen; it
+        is not a field, so equality and hashing are unaffected.)
+        """
+        origin = getattr(self, "_origin", None)
+        if origin is None:
+            origin = Origin(scheme=self.scheme, host=self.host, port=self.port)
+            object.__setattr__(self, "_origin", origin)
+        return origin
 
     @property
     def params(self) -> dict[str, str]:
@@ -204,6 +230,12 @@ class Url:
         if self.fragment:
             text += f"#{self.fragment}"
         return text
+
+
+@lru_cache(maxsize=4096)
+def _parse_url_text(text: str) -> Url:
+    """Memoised absolute-URL parse (module level so the cache is bounded once)."""
+    return Url._parse_text(text)
 
 
 def _normalize_path(path: str) -> str:

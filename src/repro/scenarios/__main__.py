@@ -82,6 +82,13 @@ def _parse_args(argv) -> argparse.Namespace:
     )
     parser.add_argument("--spec", action="store_true", help="with --replay: print the scenario spec JSON")
     parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable the per-worker compile caches (templates, script ASTs, "
+        "warm decision cache); every scenario then cold-starts, which is the "
+        "benchmark baseline",
+    )
+    parser.add_argument(
         "--bench-out",
         default=DEFAULT_BENCH_OUT,
         help="where suite runs write the throughput JSON "
@@ -102,7 +109,7 @@ def _replay_one(args: argparse.Namespace) -> int:
     report = (lambda *a, **kw: print(*a, file=sys.stderr, **kw)) if args.spec else print
     if args.spec:
         print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
-    runner = ScenarioRunner(models=args.matrix)
+    runner = ScenarioRunner(models=args.matrix, compile_caches=not args.cold)
     runs = runner.run(scenario)
     verdict = DifferentialOracle().classify(scenario, runs)
     status = "ok" if verdict.ok else "FAIL"
@@ -131,6 +138,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         corpus_dir=args.corpus or None,
         persist_failures=not args.no_corpus,
+        compile_caches=not args.cold,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))

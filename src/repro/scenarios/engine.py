@@ -82,7 +82,12 @@ class SuiteResult:
         once JSON-encoded -- to the serial run of the same range.  Wall-clock
         fields (``duration_s`` and the derived throughputs) are excluded;
         everything semantic, including every verdict and the aggregate
-        mediation counters, is in.
+        mediation counters, is in.  Decision-cache hit counters are
+        *performance* telemetry, not semantics: with the per-worker warm
+        compile caches they legitimately depend on how scenarios are sharded
+        (what an earlier scenario warmed), so they live in :meth:`as_dict`
+        only -- verdicts, digests, mediation and denial counts must still
+        match byte for byte.
         """
         return {
             "seed": self.seed,
@@ -95,8 +100,6 @@ class SuiteResult:
             "verdicts": [v.as_dict() for v in self.verdicts],
             "mediations": self.mediations,
             "denied": self.denied,
-            "cache_hits": self.cache_hits,
-            "cache_lookups": self.cache_lookups,
             "pages_loaded": self.pages_loaded,
             "tasks_run": self.tasks_run,
         }
@@ -160,16 +163,19 @@ def run_suite(
     runner: ScenarioRunner | None = None,
     oracle: DifferentialOracle | None = None,
     indices=None,
+    compile_caches: bool = True,
 ) -> SuiteResult:
     """Generate and differentially check ``count`` scenarios.
 
     ``indices`` overrides the default ``range(count)`` with an explicit list
     of scenario indices -- the sharded executor runs each worker's slice
     through this very loop, so the serial and parallel engines share one
-    generate -> run -> classify -> aggregate code path.
+    generate -> run -> classify -> aggregate code path.  ``compile_caches``
+    controls the default runner's warm compile-cache stack (ignored when an
+    explicit ``runner`` is passed).
     """
     generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
-    runner = runner or ScenarioRunner(models=models)
+    runner = runner or ScenarioRunner(models=models, compile_caches=compile_caches)
     oracle = oracle or DifferentialOracle()
     model_names = tuple(spec.name for spec in runner.specs)
     index_list = list(range(count)) if indices is None else list(indices)

@@ -74,7 +74,13 @@ def _run_shard(config: dict) -> dict:
             attack_ratio=config["attack_ratio"],
             _attack_names=tuple(config["attack_names"]),
         ),
-        runner=ScenarioRunner(models=tuple(config["models"])),
+        # One runner per shard = one compile-cache stack per worker process:
+        # templates, script ASTs and decision-cache warmth live for the
+        # shard's whole index slice.
+        runner=ScenarioRunner(
+            models=tuple(config["models"]),
+            compile_caches=config.get("compile_caches", True),
+        ),
         oracle=DifferentialOracle(),
         indices=config["indices"],
     )
@@ -136,6 +142,7 @@ def run_suite_parallel(
     workers: int = 2,
     corpus_dir=None,
     persist_failures: bool = True,
+    compile_caches: bool = True,
 ) -> ParallelSuiteResult:
     """Run ``count`` seeded scenarios sharded over ``workers`` processes.
 
@@ -143,7 +150,8 @@ def run_suite_parallel(
     is byte-identical to a serial :func:`~repro.scenarios.engine.run_suite`
     of the same seed range.  Failing specs are pinned into the regression
     corpus (``corpus_dir``, defaulting to ``tests/scenarios/corpus/``) unless
-    ``persist_failures`` is off.
+    ``persist_failures`` is off.  ``compile_caches=False`` runs every worker
+    cold (the benchmark baseline).
     """
     workers = max(1, int(workers))
     model_names = tuple(spec.name for spec in resolve_models(models))
@@ -161,6 +169,7 @@ def run_suite_parallel(
             "attack_ratio": generator.attack_ratio,
             "attack_names": generator._attack_names,
             "models": model_names,
+            "compile_caches": compile_caches,
         }
         for shard, indices in enumerate(partition_indices(count, shard_count))
     ]

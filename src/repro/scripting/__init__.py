@@ -1,5 +1,6 @@
 """MiniScript: the reproduction's JavaScript-like scripting substrate."""
 
+from .cache import DEFAULT_AST_CACHE_SIZE, ScriptAstCache
 from .errors import BudgetExceeded, LexError, ParseError, RuntimeScriptError, ScriptError
 from .interpreter import (
     Environment,
@@ -15,6 +16,7 @@ from .parser import parse_script
 
 __all__ = [
     "BudgetExceeded",
+    "DEFAULT_AST_CACHE_SIZE",
     "Environment",
     "ExecutionResult",
     "HostObject",
@@ -24,6 +26,7 @@ __all__ = [
     "NativeFunction",
     "ParseError",
     "RuntimeScriptError",
+    "ScriptAstCache",
     "ScriptError",
     "ScriptFunction",
     "ScriptToken",

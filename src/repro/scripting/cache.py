@@ -1,0 +1,93 @@
+"""Script compilation cache: memoised lexer + parser output.
+
+The scenario engine executes the same script sources over and over -- every
+page load of an application re-runs its head scripts, every replayed attack
+re-injects the same payload, every timer re-registers the same callbacks --
+and the MiniScript front end (lexing + recursive-descent parsing) dominates
+script execution cost for these short programs.
+
+:class:`ScriptAstCache` memoises the front end keyed on the SHA-256 of the
+source text.  Sharing one parsed :class:`~repro.scripting.ast_nodes.Program`
+between executions is safe because the interpreter treats the AST as
+read-only (exactly like a real engine sharing bytecode between realms): all
+execution state lives in :class:`~repro.scripting.interpreter.Environment`
+chains, never on the nodes.  Parse *errors* are memoised too -- a scenario
+that replays a syntactically broken payload should not re-lex it a hundred
+times just to rediscover the same :class:`ParseError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from . import ast_nodes as ast
+from .errors import ScriptError
+from .parser import parse_script
+
+#: Default number of distinct sources retained.
+DEFAULT_AST_CACHE_SIZE = 512
+
+
+class ScriptAstCache:
+    """Bounded LRU of parsed programs keyed by source digest."""
+
+    def __init__(self, maxsize: int = DEFAULT_AST_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("AST cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, ast.Program | ScriptError]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def parse(self, source: str) -> ast.Program:
+        """Parse ``source``, serving repeats from the cache.
+
+        Raises exactly what :func:`~repro.scripting.parser.parse_script`
+        raises for the same source -- a cached :class:`ParseError` is
+        re-raised, so callers cannot tell a hit from a cold parse.
+        """
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            if isinstance(cached, ScriptError):
+                raise cached
+            return cached
+        self.misses += 1
+        try:
+            program = parse_script(source)
+        except ScriptError as error:
+            self._store(key, error)
+            raise
+        self._store(key, program)
+        return program
+
+    def _store(self, key: str, value: "ast.Program | ScriptError") -> None:
+        entries = self._entries
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+        entries[key] = value
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of parses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Counters for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -118,6 +118,7 @@ class Blog(WebApplication):
         """Publish a new article."""
         post = BlogPost(post_id=next(self.state.post_counter), title=title, body=body)
         self.state.posts.append(post)
+        self.touch_state()
         return post
 
     def add_comment(self, post_id: int, author: str, body: str) -> Comment | None:
@@ -127,6 +128,7 @@ class Blog(WebApplication):
             return None
         comment = Comment(comment_id=next(self.state.comment_counter), author=author, body=body)
         post.comments.append(comment)
+        self.touch_state()
         return comment
 
     def snapshot_content(self) -> dict:

@@ -65,6 +65,18 @@ class RequestContext:
 Handler = Callable[[RequestContext], HttpResponse]
 
 
+def _copy_response(response: HttpResponse) -> HttpResponse:
+    """Independent copy of a response (fresh header map, shared body string)."""
+    from repro.http.headers import Headers
+
+    return HttpResponse(
+        status=response.status,
+        headers=Headers(response.headers),
+        body=response.body,
+        content_type=response.content_type,
+    )
+
+
 @dataclass
 class Route:
     """One routing table entry."""
@@ -91,6 +103,7 @@ class WebApplication:
         csrf_protection: bool = False,
         markup_randomization: bool = True,
         nonce_seed: str | int | None = None,
+        response_cache: bool = False,
     ) -> None:
         self.origin = origin
         self.escudo_enabled = escudo_enabled
@@ -98,7 +111,21 @@ class WebApplication:
         self.csrf_protection = csrf_protection
         self.markup_randomization = markup_randomization
         self.nonce_seed = nonce_seed
+        # Opt-in GET response memo (the scenario runner's warm-start path).
+        # Only sound with a deterministic nonce_seed: with random nonces two
+        # renders of the same page legitimately differ, and serving a memo
+        # would *change* observable bodies rather than just skipping work.
+        self.response_cache_enabled = response_cache and nonce_seed is not None
+        self._response_cache: dict[tuple, HttpResponse] = {}
+        self._escudo_header_cache: tuple[tuple[str, str], ...] | None = None
         self.sessions = SessionStore(seed=f"{origin}-sessions")
+        # State-digest memo: snapshot_state() is canonically re-dumped and
+        # hashed by every oracle check, so the digest is cached until the
+        # next state mutation.  Content mutators call touch_state(); session
+        # churn is tracked by the store's own version counter.
+        self._state_generation = 0
+        self._digest_cache: tuple[tuple[int, int], str] | None = None
+        self._snapshot_cache: tuple[tuple[int, int], dict] | None = None
         self._routes: list[Route] = []
         self.register_routes()
 
@@ -123,8 +150,45 @@ class WebApplication:
                                   requires_login=requires_login))
 
     def handle_request(self, request: HttpRequest) -> HttpResponse:
-        """Entry point called by the network fabric."""
+        """Entry point called by the network fabric.
+
+        With the (opt-in) response cache on, side-effect-free requests --
+        ``GET``s, which by this framework's routing convention never mutate
+        state -- are memoised per ``(path+query, session, state
+        generation)``.  Any state mutation (all of which happen in ``POST``
+        handlers and bump a generation counter) changes the key, so a memo
+        can never outlive the state it rendered.  Responses that set cookies
+        are never memoised, and every hit is served as a copy so callers
+        cannot poison the cache.
+        """
         session = self.sessions.get(request.cookies.get(self.session_cookie_name))
+        if not self.response_cache_enabled or request.method != "GET":
+            return self._handle_uncached(request, session)
+        # The key is the *resolved* session (an unknown or destroyed cookie
+        # keys like an anonymous request, and a destroyed session can never
+        # alias a live one -- identifiers are never reused), that session's
+        # data version (a handler rendering session data must never see a
+        # pre-write memo), and the content generation.  Other users' logins
+        # and writes touch none of these, so their churn cannot evict
+        # unrelated memos.
+        key = (
+            request.url.path_and_query,
+            session.session_id if session is not None else None,
+            session.version if session is not None else 0,
+            self._state_generation,
+        )
+        cached = self._response_cache.get(key)
+        if cached is not None:
+            return _copy_response(cached)
+        response = self._handle_uncached(request, session)
+        if not response.set_cookie_values:
+            if len(self._response_cache) >= 256:
+                self._response_cache.clear()
+            self._response_cache[key] = _copy_response(response)
+        return response
+
+    def _handle_uncached(self, request: HttpRequest, session: Session | None) -> HttpResponse:
+        """Route one request to its handler (the original entry point)."""
         context = RequestContext(request=request, app=self, session=session)
         for route in self._routes:
             if route.method != request.method or route.path != request.url.path:
@@ -139,9 +203,20 @@ class WebApplication:
         return self.decorate(HttpResponse.not_found(f"no route for {request.method} {request.url.path}"), context)
 
     def decorate(self, response: HttpResponse, context: RequestContext) -> HttpResponse:
-        """Attach the ESCUDO headers (when enabled) to every response."""
+        """Attach the ESCUDO headers (when enabled) to every response.
+
+        The header lines are rendered once per application instance: the
+        built-in applications derive their configuration from class-level
+        constants (the paper's Tables 3 and 5), so re-building and
+        re-formatting it per response was pure overhead on every request.
+        """
         if self.escudo_enabled and response.content_type.startswith("text/html"):
-            response.apply_escudo_headers(self.escudo_configuration())
+            headers = self._escudo_header_cache
+            if headers is None:
+                headers = tuple(self.escudo_configuration().to_headers().items())
+                self._escudo_header_cache = headers
+            for name, value in headers:
+                response.headers.set(name, value)
         return response
 
     # -- sessions --------------------------------------------------------------------------------
@@ -189,7 +264,11 @@ class WebApplication:
         session table (identifiers are deterministic per store seed, so they
         are comparable across runs too).
         """
-        return {
+        token = (self._state_generation, self.sessions.version)
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        snapshot = {
             "app": self.name,
             "origin": self.origin,
             "sessions": sorted(
@@ -197,15 +276,42 @@ class WebApplication:
             ),
             "content": self.snapshot_content(),
         }
+        # The memoised snapshot is shared between callers (the runner's
+        # per-model record and the digest below); it is treated as
+        # read-only everywhere, and any state mutation changes the token.
+        self._snapshot_cache = (token, snapshot)
+        return snapshot
 
     def snapshot_content(self) -> dict:
         """Application-specific state; subclasses override."""
         return {}
 
+    def touch_state(self) -> None:
+        """Note an application-visible state mutation.
+
+        Every mutator of :meth:`snapshot_content`-visible state must call
+        this (the built-in applications do in their post/reply/comment/event
+        helpers); it invalidates the cached :meth:`state_digest`.  Session
+        creation and destruction are tracked separately through the session
+        store's version counter, so login/logout needs no explicit touch.
+        """
+        self._state_generation += 1
+
     def state_digest(self) -> str:
-        """SHA-256 over the canonical JSON encoding of :meth:`snapshot_state`."""
+        """SHA-256 over the canonical JSON encoding of :meth:`snapshot_state`.
+
+        Cached until the next state mutation: the differential oracle
+        digests every run (and the runner digests per model column), but the
+        state only changes when a handler actually mutates it.
+        """
+        token = (self._state_generation, self.sessions.version)
+        cached = self._digest_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
         canonical = json.dumps(self.snapshot_state(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+        self._digest_cache = (token, digest)
+        return digest
 
     # -- misc ---------------------------------------------------------------------------------------
 

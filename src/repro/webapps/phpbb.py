@@ -166,6 +166,7 @@ class PhpBB(WebApplication):
         topic = Topic(topic_id=next(self.state.topic_counter), title=title, author=author)
         topic.posts.append(Post(post_id=next(self.state.post_counter), author=author, body=body))
         self.state.topics.append(topic)
+        self.touch_state()
         return topic
 
     def add_reply(self, topic_id: int, author: str, body: str) -> Post | None:
@@ -175,6 +176,7 @@ class PhpBB(WebApplication):
             return None
         post = Post(post_id=next(self.state.post_counter), author=author, body=body)
         topic.posts.append(post)
+        self.touch_state()
         return post
 
     def send_private_message(self, sender: str, recipient: str, subject: str, body: str) -> PrivateMessage:
@@ -187,6 +189,7 @@ class PhpBB(WebApplication):
             body=body,
         )
         self.state.private_messages.append(message)
+        self.touch_state()
         return message
 
     def snapshot_content(self) -> dict:
@@ -407,6 +410,7 @@ class PhpBB(WebApplication):
         if post.author != (context.username or ""):
             return HttpResponse.forbidden("only the author may edit a post")
         post.body = context.param("message", post.body)
+        self.touch_state()
         return HttpResponse.redirect("/")
 
     def do_send_message(self, context: RequestContext) -> HttpResponse:

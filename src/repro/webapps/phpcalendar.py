@@ -125,6 +125,7 @@ class PhpCalendar(WebApplication):
             author=author,
         )
         self.state.events.append(event)
+        self.touch_state()
         return event
 
     def snapshot_content(self) -> dict:
@@ -288,6 +289,7 @@ class PhpCalendar(WebApplication):
         event.description = context.param("description", event.description)
         if context.param("title"):
             event.title = context.param("title")
+        self.touch_state()
         return HttpResponse.redirect(f"/view?id={event_id}")
 
     def do_delete(self, context: RequestContext) -> HttpResponse:
@@ -302,4 +304,5 @@ class PhpCalendar(WebApplication):
         if event.author != (context.username or ""):
             return HttpResponse.forbidden("only the author may delete an event")
         self.state.events.remove(event)
+        self.touch_state()
         return HttpResponse.redirect("/")

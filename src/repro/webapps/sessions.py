@@ -23,6 +23,13 @@ class Session:
     session_id: str
     username: str
     data: dict[str, Any] = field(default_factory=dict)
+    #: Bumped on every :meth:`set`: response memos key on it so a handler
+    #: that renders session data can never be served a pre-write body.
+    version: int = 0
+    #: Store-installed hook notifying the owning store of data writes (so
+    #: the store-level version -- and through it the application state
+    #: digest -- also reflects session-data mutations).
+    _notify: Any = field(default=None, repr=False, compare=False)
 
     def get(self, key: str, default=None):
         """Read a value from the session."""
@@ -31,6 +38,9 @@ class Session:
     def set(self, key: str, value) -> None:
         """Store a value in the session."""
         self.data[key] = value
+        self.version += 1
+        if self._notify is not None:
+            self._notify()
 
 
 class SessionStore:
@@ -46,14 +56,26 @@ class SessionStore:
         self._seed = seed
         self._counter = itertools.count(1)
         self._sessions: dict[str, Session] = {}
+        #: Monotonic mutation counter: bumped whenever the session *table*
+        #: changes (create/destroy) and on every session-data write.  The
+        #: application's state-digest cache keys on it, so login/logout (or
+        #: a handler stashing per-session data) invalidates cached digests
+        #: without a re-dump on every oracle check.
+        self.version = 0
 
     def create(self, username: str) -> Session:
         """Create a session for ``username`` and return it."""
         index = next(self._counter)
         session_id = hashlib.sha256(f"{self._seed}:{username}:{index}".encode()).hexdigest()[:24]
         session = Session(session_id=session_id, username=username)
+        session._notify = self._note_data_write
         self._sessions[session_id] = session
+        self.version += 1
         return session
+
+    def _note_data_write(self) -> None:
+        """A session's data changed; fold it into the store version."""
+        self.version += 1
 
     def get(self, session_id: str | None) -> Session | None:
         """Look up a session by id (``None`` for unknown/missing ids)."""
@@ -63,7 +85,8 @@ class SessionStore:
 
     def destroy(self, session_id: str) -> None:
         """Log a session out."""
-        self._sessions.pop(session_id, None)
+        if self._sessions.pop(session_id, None) is not None:
+            self.version += 1
 
     def sessions_for(self, username: str) -> list[Session]:
         """Every live session belonging to ``username``."""

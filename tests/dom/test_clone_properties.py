@@ -1,0 +1,146 @@
+"""Clone fidelity properties (hypothesis).
+
+The HTML template cache's guarantee rests on two properties of
+:meth:`Document.clone` / :meth:`Node.clone`:
+
+* **Equivalence** -- for any generated document, the clone serialises to
+  exactly the markup a fresh parse of the original's serialisation yields
+  (clone == reparse, via the serializer round-trip);
+* **Isolation** -- the clone and the original share no mutable state: deep
+  mutation of the clone (structure, attributes, text) leaves the cached
+  template byte-identical, and vice versa.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom.document import Document
+from repro.dom.element import Element
+from repro.dom.node import CommentNode, TextNode
+from repro.html.parser import parse_document
+from repro.html.serializer import serialize
+
+tag_names = st.sampled_from(
+    ["div", "span", "section", "article", "em", "strong", "ul", "aside", "form", "a"]
+)
+# No "nonce": the serializer does not repeat nonces on terminators, so nonced
+# AC divs deliberately do not survive a serialize -> reparse round trip (the
+# reparsed terminator is ignored).  Nonce replay fidelity is covered by the
+# template-cache tests instead.
+attr_names = st.sampled_from(["id", "class", "ring", "r", "w", "x", "href", "data-k"])
+attr_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" -_."),
+    min_size=0,
+    max_size=12,
+)
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" "),
+    min_size=0,
+    max_size=20,
+)
+
+
+@st.composite
+def element_trees(draw, max_depth: int = 3):
+    """A random element subtree with attributes, text and comment leaves."""
+    attributes = draw(
+        st.dictionaries(attr_names, attr_values, min_size=0, max_size=3)
+    )
+    element = Element(draw(tag_names), attributes)
+    n_children = draw(st.integers(min_value=0, max_value=3)) if max_depth > 0 else 0
+    for _ in range(n_children):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0 and max_depth > 0:
+            element.append_child(draw(element_trees(max_depth=max_depth - 1)))
+        elif kind == 1:
+            element.append_child(TextNode(draw(texts)))
+        else:
+            element.append_child(CommentNode(draw(texts)))
+    return element
+
+
+@st.composite
+def documents(draw):
+    """A random document with an <html> root."""
+    document = Document(url="http://prop.example.com/page")
+    root = document.create_element("html")
+    document.append_child(root)
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        root.append_child(draw(element_trees()))
+    return document
+
+
+class TestCloneEquivalence:
+    @given(documents())
+    @settings(max_examples=80)
+    def test_clone_serialises_identically(self, document: Document):
+        assert serialize(document.clone()) == serialize(document)
+
+    @given(documents())
+    @settings(max_examples=80)
+    def test_clone_equals_reparse_round_trip(self, document: Document):
+        """clone() == reparse: both reproduce the original's serialisation."""
+        markup = serialize(document)
+        assert serialize(document.clone()) == serialize(parse_document(markup))
+
+    @given(documents())
+    @settings(max_examples=60)
+    def test_clone_shares_no_nodes_and_owns_itself(self, document: Document):
+        clone = document.clone()
+        originals = {id(node) for node in document.descendants()}
+        for node in clone.descendants():
+            assert id(node) not in originals
+            assert node.owner_document is clone
+        assert clone.url == document.url and clone.doctype == document.doctype
+
+
+def _mutate_deeply(document: Document) -> None:
+    """Mutate structure, attributes and text at every level of the tree."""
+    for element in list(document.elements()):
+        element.set_attribute("data-mutated", "yes")
+        element.set_attribute("id", "rewritten")
+        element.append_child(TextNode("INJECTED"))
+    for node in list(document.descendants()):
+        if isinstance(node, TextNode):
+            node.data = "SCRUBBED"
+    root = document.document_element
+    if root is not None:
+        first = root.first_child
+        if first is not None:
+            root.remove_child(first)
+        root.append_child(Element("div", {"id": "grafted"}))
+
+
+class TestCloneIsolation:
+    @given(documents())
+    @settings(max_examples=60)
+    def test_mutating_the_clone_leaves_the_template_byte_identical(self, document: Document):
+        before = serialize(document)
+        clone = document.clone()
+        _mutate_deeply(clone)
+        assert serialize(document) == before
+
+    @given(documents())
+    @settings(max_examples=60)
+    def test_mutating_the_template_leaves_the_clone_byte_identical(self, document: Document):
+        clone = document.clone()
+        before = serialize(clone)
+        _mutate_deeply(document)
+        assert serialize(clone) == before
+
+    @given(documents())
+    @settings(max_examples=40)
+    def test_clone_id_lookups_resolve_within_the_clone(self, document: Document):
+        clone = document.clone()
+        for element in clone.elements():
+            eid = element.id
+            if eid is None:
+                continue
+            found = clone.get_element_by_id(eid)
+            assert found is not None
+            assert found.owner_document is clone
+            # The match must be a clone-side node, never the template's.
+            assert all(found is not orig for orig in document.elements())
+            break

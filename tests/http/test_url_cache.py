@@ -1,0 +1,59 @@
+"""The memoised ``Url.parse`` and per-instance origin cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.http.url import Url
+
+
+class TestParseMemo:
+    def test_repeat_parses_share_one_frozen_instance(self):
+        first = Url.parse("http://app.example.com/index?x=1")
+        second = Url.parse("http://app.example.com/index?x=1")
+        assert first is second  # bounded LRU serves the same frozen value
+        assert str(first) == "http://app.example.com/index?x=1"
+
+    def test_already_parsed_urls_pass_through_without_a_round_trip(self):
+        url = Url.parse("https://a.example.com/path")
+        assert Url.parse(url) is url
+
+    def test_distinct_texts_distinct_urls(self):
+        a = Url.parse("http://a.example.com/")
+        b = Url.parse("http://b.example.com/")
+        assert a is not b and a != b
+
+    def test_errors_still_raise(self):
+        with pytest.raises(ConfigurationError):
+            Url.parse("not a url")
+        with pytest.raises(ConfigurationError):
+            Url.parse("http://")
+
+    def test_memoised_instances_are_semantically_equal_to_fresh_ones(self):
+        cached = Url.parse("http://app.example.com:8080/a/b?q=1#frag")
+        fresh = Url._parse_text("http://app.example.com:8080/a/b?q=1#frag")
+        assert cached == fresh
+        assert cached.origin == fresh.origin
+        assert cached.path_and_query == fresh.path_and_query
+
+
+class TestOriginCache:
+    def test_origin_is_computed_once_and_stable(self):
+        url = Url.parse("http://origin.example.com/x")
+        first = url.origin
+        assert url.origin is first  # cached on the instance
+        assert first.host == "origin.example.com"
+
+    def test_origin_cache_does_not_affect_equality_or_hash(self):
+        a = Url(scheme="http", host="eq.example.com", port=80, path="/p")
+        b = Url(scheme="http", host="eq.example.com", port=80, path="/p")
+        _ = a.origin  # populate the cache on one side only
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_derived_urls_get_their_own_origin(self):
+        base = Url.parse("http://derive.example.com/dir/page")
+        _ = base.origin
+        resolved = base.resolve("//other.example.com/x")
+        assert resolved.origin.host == "other.example.com"
