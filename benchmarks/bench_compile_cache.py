@@ -1,14 +1,16 @@
 """Compile-cache speedups: cold vs warm pipelines on identical workloads.
 
-Runs the four compile-cache workloads (page compilation, script front end,
-warm-start mediation, end-to-end scenarios), certifies that every cached
-pipeline is observably identical to its cold twin, asserts the committed
-speedup floors, and writes ``benchmarks/results/BENCH_compile_cache.json``
-for the CI ``perf-smoke`` job.
+Runs the five compile-cache workloads (page compilation, script front end,
+bytecode-VM script execution, warm-start mediation, end-to-end scenarios),
+certifies that every cached pipeline is observably identical to its cold
+twin, asserts the committed speedup floors, and writes
+``benchmarks/results/BENCH_compile_cache.json`` for the CI ``perf-smoke``
+job.
 
 Floors asserted here (and re-asserted by CI on every push):
 
 * warm-start mediation ≥ 3x over fresh per-page decision caches;
+* bytecode VM ≥ 3x over the AST walker on the script-heavy payload;
 * page compilation and the script front end ≥ 2x warm over cold;
 * scenario throughput at one worker, warm worker at steady state, ≥ 2x the
   pinned PR-3 baseline (``BENCH_scenarios_seed.json``) -- the artifact this
@@ -34,6 +36,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Fixed workload sizes so runs are comparable across commits.
 PAGE_LOADS = 60
 SCRIPT_RUNS = 300
+SCRIPT_VM_RUNS = 200
 MEDIATION_PAGES = 60
 SCENARIO_SEED = 42
 SCENARIO_COUNT = 25
@@ -46,6 +49,7 @@ def test_compile_cache_speedups(benchmark, report_writer):
         lambda: measure_compile_cache(
             page_loads=PAGE_LOADS,
             script_runs=SCRIPT_RUNS,
+            script_vm_runs=SCRIPT_VM_RUNS,
             mediation_pages=MEDIATION_PAGES,
             scenario_seed=SCENARIO_SEED,
             scenario_count=SCENARIO_COUNT,
@@ -60,6 +64,7 @@ def test_compile_cache_speedups(benchmark, report_writer):
     assert payload["verdict_parity"], "caches changed observable behaviour"
     assert payload["page_compile"]["parity"]
     assert payload["script_ast"]["parity"]
+    assert payload["script_vm"]["parity"]
     assert payload["warm_mediation"]["parity"]
     assert payload["scenarios"]["cold_ok"] and payload["scenarios"]["warm_ok"]
 
@@ -72,6 +77,9 @@ def test_compile_cache_speedups(benchmark, report_writer):
     )
     assert payload["script_ast_speedup"] >= 2.0, (
         f"script front-end speedup {payload['script_ast_speedup']:.2f}x < 2x"
+    )
+    assert payload["script_vm_speedup"] >= 3.0, (
+        f"bytecode VM speedup {payload['script_vm_speedup']:.2f}x < 3x over the walker"
     )
     assert payload["scenario_speedup"] > 1.0, (
         f"the first warm pass ({payload['scenario_speedup']:.2f}x) must already "

@@ -73,9 +73,12 @@ class Browser:
         enforce_scoping: bool = True,
         interleave_seed: int | None = None,
         caches: CompileCaches | None = None,
+        script_engine: str = "vm",
     ) -> None:
         if model not in ("escudo", "sop", "same-origin"):
             raise ValueError(f"unknown protection model {model!r}")
+        if script_engine not in ("vm", "walker"):
+            raise ValueError(f"unknown script engine {script_engine!r}")
         self.network = network
         self.model = "sop" if model in ("sop", "same-origin") else "escudo"
         self.run_scripts = run_scripts
@@ -93,6 +96,9 @@ class Browser:
         # e.g. all the actors of one scenario worker -- may share one stack;
         # warm loads are observably identical to cold ones.
         self.caches = caches
+        # "vm" (bytecode + inline caches, default) or "walker" (reference
+        # AST interpreter, selectable for differential parity runs).
+        self.script_engine = script_engine
         self.cookie_jar = CookieJar()
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
@@ -147,6 +153,8 @@ class Browser:
             page,
             max_steps=self.max_script_steps,
             ast_cache=self.caches.scripts if self.caches is not None else None,
+            code_cache=self.caches.code if self.caches is not None else None,
+            engine=self.script_engine,
         )
         events = UiEventLayer(page, runtime)
         loaded = LoadedPage(page=page, runtime=runtime, events=events, response=response)

@@ -45,7 +45,7 @@ from repro.core.origin import Origin
 from repro.dom.document import Document
 from repro.html.parser import TreeBuilder
 from repro.html.tokenizer import tokenize
-from repro.scripting.cache import ScriptAstCache
+from repro.scripting.cache import ScriptAstCache, ScriptCodeCache
 
 from .labeler import LabelingStats, PageLabeler, document_uses_escudo
 from .renderer import Renderer, RenderStats
@@ -243,7 +243,7 @@ def _copy_labeling_stats(stats: LabelingStats) -> LabelingStats:
 
 @dataclass
 class CompileCaches:
-    """The per-worker cache stack: templates + script ASTs + decisions."""
+    """The per-worker cache stack: templates + script ASTs + bytecode + decisions."""
 
     templates: TemplateCache
     scripts: ScriptAstCache
@@ -253,6 +253,9 @@ class CompileCaches:
     #: *instance*; sharing the instance is what lets verdicts cached by one
     #: page serve every later page enforcing the same model.
     policies: dict = field(default_factory=dict)
+    #: Compiled-bytecode tier below the AST cache (used by the VM engine);
+    #: a warm source goes digest -> CodeObject with no front end at all.
+    code: ScriptCodeCache = field(default_factory=ScriptCodeCache)
 
     def policy_for(self, options) -> object:
         """The stack's shared policy instance for ``options.model``."""
@@ -268,14 +271,17 @@ class CompileCaches:
         *,
         template_size: int = DEFAULT_TEMPLATE_CACHE_SIZE,
         ast_size: int | None = None,
+        code_size: int | None = None,
         decision_size: int = DEFAULT_SHARED_DECISION_CACHE_SIZE,
     ) -> "CompileCaches":
         """A fresh stack with the default (or overridden) capacities."""
         scripts = ScriptAstCache(ast_size) if ast_size is not None else ScriptAstCache()
+        code = ScriptCodeCache(code_size) if code_size is not None else ScriptCodeCache()
         return cls(
             templates=TemplateCache(template_size),
             scripts=scripts,
             decisions=DecisionCache(decision_size),
+            code=code,
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -283,5 +289,6 @@ class CompileCaches:
         return {
             "templates": self.templates.as_dict(),
             "scripts": self.scripts.as_dict(),
+            "code": self.code.as_dict(),
             "decisions": self.decisions.info().as_dict(),
         }

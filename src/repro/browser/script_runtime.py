@@ -30,7 +30,7 @@ from typing import Callable
 from repro.core.context import SecurityContext
 from repro.dom.dom_api import DomApi, ElementHandle
 from repro.dom.element import Element
-from repro.scripting.cache import ScriptAstCache
+from repro.scripting.cache import ScriptAstCache, ScriptCodeCache
 from repro.scripting.errors import RuntimeScriptError, ScriptError
 from repro.scripting.interpreter import (
     ExecutionResult,
@@ -39,6 +39,8 @@ from repro.scripting.interpreter import (
     NativeConstructor,
     NativeFunction,
 )
+from repro.scripting.parser import parse_script
+from repro.scripting.vm import VirtualMachine
 
 from .page import Page, RegisteredListener, ScriptRun
 from .xhr import XmlHttpRequest
@@ -354,7 +356,7 @@ class _PrincipalEnvironment:
         self.runtime = runtime
         self.page = runtime.page
         self.principal = principal
-        self.interpreter = Interpreter(max_steps=runtime.max_steps)
+        self.interpreter = runtime.make_engine()
         self.dom_api = DomApi(
             self.page.document,
             self.page.monitor,
@@ -459,7 +461,11 @@ class ScriptRuntime:
         *,
         max_steps: int = 500_000,
         ast_cache: ScriptAstCache | None = None,
+        code_cache: ScriptCodeCache | None = None,
+        engine: str = "vm",
     ) -> None:
+        if engine not in ("vm", "walker"):
+            raise ValueError(f"unknown script engine {engine!r} (expected 'vm' or 'walker')")
         self.browser = browser
         self.page = page
         self.max_steps = max_steps
@@ -467,6 +473,12 @@ class ScriptRuntime:
         #: source (re-loaded pages, replayed handlers, re-armed timers) skip
         #: lexing and parsing entirely.
         self.ast_cache = ast_cache
+        #: Optional shared back-end cache: memoises the compiled bytecode one
+        #: tier below the AST cache (only consulted by the ``vm`` engine).
+        self.code_cache = code_cache
+        #: ``"vm"`` (bytecode, default) or ``"walker"`` (the reference AST
+        #: interpreter, kept selectable for differential parity runs).
+        self.engine = engine
         self.observations = RuntimeObservations()
         # Resolved once per runtime: every principal's DOM facade shares the
         # same API object context, and building it per script execution costs
@@ -508,13 +520,29 @@ class ScriptRuntime:
 
     # -- helpers --------------------------------------------------------------------------------
 
-    def _run_source(self, interpreter: Interpreter, source: str) -> ExecutionResult:
-        """Run ``source``, front-ending through the AST cache when one is set.
+    def make_engine(self):
+        """Build one principal's execution engine (VM unless ``--ast-walker``)."""
+        if self.engine == "walker":
+            return Interpreter(max_steps=self.max_steps)
+        return VirtualMachine(max_steps=self.max_steps)
 
-        The cached path is observably identical to ``interpreter.run(source)``:
-        a (possibly memoised) parse error yields the same failed
-        :class:`ExecutionResult` a cold parse would.
+    def _run_source(self, interpreter, source: str) -> ExecutionResult:
+        """Run ``source`` through whatever compile tiers are configured.
+
+        The cached paths are observably identical to ``interpreter.run(source)``:
+        a (possibly memoised) front-end error yields the same failed
+        :class:`ExecutionResult` a cold parse would, and cached bytecode
+        re-executes through the same mediated host calls.
         """
+        if self.engine == "vm" and self.code_cache is not None:
+            # Full tiering: source digest -> bytecode (which itself fronts
+            # through the AST cache on a code-cache miss).
+            parse = self.ast_cache.parse if self.ast_cache is not None else parse_script
+            try:
+                code = self.code_cache.code_for(source, parse=parse)
+            except ScriptError as error:
+                return ExecutionResult(error=error, completed=False)
+            return interpreter.run(code)
         if self.ast_cache is None:
             return interpreter.run(source)
         try:

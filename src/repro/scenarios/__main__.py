@@ -89,6 +89,13 @@ def _parse_args(argv) -> argparse.Namespace:
         "benchmark baseline",
     )
     parser.add_argument(
+        "--ast-walker",
+        action="store_true",
+        help="execute scripts with the reference AST-walking interpreter "
+        "instead of the bytecode VM (differential parity runs: the report "
+        "must be byte-identical either way)",
+    )
+    parser.add_argument(
         "--bench-out",
         default=DEFAULT_BENCH_OUT,
         help="where suite runs write the throughput JSON "
@@ -109,7 +116,11 @@ def _replay_one(args: argparse.Namespace) -> int:
     report = (lambda *a, **kw: print(*a, file=sys.stderr, **kw)) if args.spec else print
     if args.spec:
         print(json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
-    runner = ScenarioRunner(models=args.matrix, compile_caches=not args.cold)
+    runner = ScenarioRunner(
+        models=args.matrix,
+        compile_caches=not args.cold,
+        script_engine="walker" if args.ast_walker else "vm",
+    )
     runs = runner.run(scenario)
     verdict = DifferentialOracle().classify(scenario, runs)
     status = "ok" if verdict.ok else "FAIL"
@@ -139,6 +150,7 @@ def main(argv=None) -> int:
         corpus_dir=args.corpus or None,
         persist_failures=not args.no_corpus,
         compile_caches=not args.cold,
+        script_engine="walker" if args.ast_walker else "vm",
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))

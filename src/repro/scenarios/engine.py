@@ -164,6 +164,7 @@ def run_suite(
     oracle: DifferentialOracle | None = None,
     indices=None,
     compile_caches: bool = True,
+    script_engine: str = "vm",
 ) -> SuiteResult:
     """Generate and differentially check ``count`` scenarios.
 
@@ -171,11 +172,14 @@ def run_suite(
     of scenario indices -- the sharded executor runs each worker's slice
     through this very loop, so the serial and parallel engines share one
     generate -> run -> classify -> aggregate code path.  ``compile_caches``
-    controls the default runner's warm compile-cache stack (ignored when an
-    explicit ``runner`` is passed).
+    controls the default runner's warm compile-cache stack and
+    ``script_engine`` its execution engine (``"vm"`` or ``"walker"``); both
+    are ignored when an explicit ``runner`` is passed.
     """
     generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
-    runner = runner or ScenarioRunner(models=models, compile_caches=compile_caches)
+    runner = runner or ScenarioRunner(
+        models=models, compile_caches=compile_caches, script_engine=script_engine
+    )
     oracle = oracle or DifferentialOracle()
     model_names = tuple(spec.name for spec in runner.specs)
     index_list = list(range(count)) if indices is None else list(indices)

@@ -80,6 +80,7 @@ def _run_shard(config: dict) -> dict:
         runner=ScenarioRunner(
             models=tuple(config["models"]),
             compile_caches=config.get("compile_caches", True),
+            script_engine=config.get("script_engine", "vm"),
         ),
         oracle=DifferentialOracle(),
         indices=config["indices"],
@@ -143,6 +144,7 @@ def run_suite_parallel(
     corpus_dir=None,
     persist_failures: bool = True,
     compile_caches: bool = True,
+    script_engine: str = "vm",
 ) -> ParallelSuiteResult:
     """Run ``count`` seeded scenarios sharded over ``workers`` processes.
 
@@ -170,6 +172,7 @@ def run_suite_parallel(
             "attack_names": generator._attack_names,
             "models": model_names,
             "compile_caches": compile_caches,
+            "script_engine": script_engine,
         }
         for shard, indices in enumerate(partition_indices(count, shard_count))
     ]

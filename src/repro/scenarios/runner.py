@@ -110,8 +110,15 @@ class ScenarioRunner:
         models=("escudo", "sop", "none"),
         *,
         compile_caches: "bool | CompileCaches" = True,
+        script_engine: str = "vm",
     ) -> None:
         self.specs = resolve_models(models)
+        if script_engine not in ("vm", "walker"):
+            raise ValueError(f"unknown script engine {script_engine!r}")
+        #: Execution engine for every browser this worker builds: the
+        #: bytecode VM by default, or the reference AST walker
+        #: (``--ast-walker``) for differential parity runs.
+        self.script_engine = script_engine
         if compile_caches is True:
             self.caches: CompileCaches | None = CompileCaches.build()
         elif compile_caches is False:
@@ -162,6 +169,7 @@ class ScenarioRunner:
                 escudo_app=spec.escudo_app,
                 app_kwargs=self._app_kwargs(app_key, spec),
                 caches=self.caches,
+                script_engine=self.script_engine,
             )
             env.browser.load(f"{env.app.origin}/")
 
@@ -197,6 +205,7 @@ class ScenarioRunner:
             escudo_app=spec.escudo_app,
             app_kwargs=self._app_kwargs(scenario.app_key, spec),
             caches=caches,
+            script_engine=self.script_engine,
         )
         env.victim = scenario.victim.name
         # Every actor's browser seeds its pages' event loops with the
@@ -270,6 +279,7 @@ class ScenarioRunner:
                 model=browser_model,
                 interleave_seed=scenario.interleave or None,
                 caches=self.caches,
+                script_engine=self.script_engine,
             )
             browsers[step.actor] = browser
         origin = env.app.origin

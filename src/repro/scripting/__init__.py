@@ -1,6 +1,12 @@
 """MiniScript: the reproduction's JavaScript-like scripting substrate."""
 
-from .cache import DEFAULT_AST_CACHE_SIZE, ScriptAstCache
+from .cache import (
+    DEFAULT_AST_CACHE_SIZE,
+    DEFAULT_CODE_CACHE_SIZE,
+    ScriptAstCache,
+    ScriptCodeCache,
+)
+from .compiler import CodeObject, compile_function, compile_program, fold_program
 from .errors import BudgetExceeded, LexError, ParseError, RuntimeScriptError, ScriptError
 from .interpreter import (
     Environment,
@@ -13,10 +19,14 @@ from .interpreter import (
 )
 from .lexer import ScriptToken, TokenType, tokenize_script
 from .parser import parse_script
+from .vm import CompiledFunction, VirtualMachine
 
 __all__ = [
     "BudgetExceeded",
+    "CodeObject",
+    "CompiledFunction",
     "DEFAULT_AST_CACHE_SIZE",
+    "DEFAULT_CODE_CACHE_SIZE",
     "Environment",
     "ExecutionResult",
     "HostObject",
@@ -27,10 +37,15 @@ __all__ = [
     "ParseError",
     "RuntimeScriptError",
     "ScriptAstCache",
+    "ScriptCodeCache",
     "ScriptError",
     "ScriptFunction",
     "ScriptToken",
     "TokenType",
+    "VirtualMachine",
+    "compile_function",
+    "compile_program",
+    "fold_program",
     "parse_script",
     "tokenize_script",
 ]

@@ -28,6 +28,22 @@ from .parser import parse_script
 #: Default number of distinct sources retained.
 DEFAULT_AST_CACHE_SIZE = 512
 
+#: Default number of distinct compiled code objects retained.
+DEFAULT_CODE_CACHE_SIZE = 512
+
+
+def _fresh_error(error: ScriptError) -> ScriptError:
+    """Rebuild a cached error for re-raising.
+
+    Re-raising the *same* exception object on every cache hit makes Python
+    attach a fresh ``__traceback__`` to the shared instance each time, so
+    traceback chains from prior executions accumulate on (and leak through)
+    the cache entry.  A hit therefore raises an equal-but-fresh copy.
+    """
+    copy = error.__class__(error.message, error.line, error.column)
+    copy.__cause__ = None
+    return copy
+
 
 class ScriptAstCache:
     """Bounded LRU of parsed programs keyed by source digest."""
@@ -54,7 +70,7 @@ class ScriptAstCache:
             self.hits += 1
             entries.move_to_end(key)
             if isinstance(cached, ScriptError):
-                raise cached
+                raise _fresh_error(cached)
             return cached
         self.misses += 1
         try:
@@ -76,6 +92,89 @@ class ScriptAstCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of parses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Counters for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ScriptCodeCache:
+    """Bounded LRU of compiled :class:`CodeObject` keyed by source digest.
+
+    Sibling of :class:`ScriptAstCache` one tier further down: where the AST
+    cache memoises the front end (lex + parse), this memoises the *back*
+    end (constant folding + bytecode lowering), so a warm execution goes
+    straight from source text to the VM dispatch loop.  Sharing one
+    :class:`~repro.scripting.compiler.CodeObject` between executions -- and
+    between principals -- is safe for the same reason sharing the AST is:
+    all execution state lives in environment chains.  The embedded inline
+    caches are the one mutable part, and they only memoise which dispatch
+    ladder branch a site took (keyed on the receiver's class); every hit
+    still performs the fully mediated ``js_get``/``js_set``/``js_call``, so
+    cached code cannot leak one principal's verdicts to another.
+
+    Front-end errors are memoised here too (as fresh copies on every hit,
+    see :func:`_fresh_error`) so a replayed broken payload costs one digest.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CODE_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("code cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def code_for(self, source: str, *, parse=parse_script):
+        """Compile ``source`` to bytecode, serving repeats from the cache.
+
+        ``parse`` is the front end to use on a miss -- pass a bound
+        :meth:`ScriptAstCache.parse` to stack the two tiers (an AST-cache
+        hit then feeds only the lowering pass).  Raises exactly what the
+        front end or compiler raises for the same source.
+        """
+        from .compiler import compile_program
+
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            if isinstance(cached, ScriptError):
+                raise _fresh_error(cached)
+            return cached
+        self.misses += 1
+        try:
+            code = compile_program(parse(source))
+        except ScriptError as error:
+            self._store(key, error)
+            raise
+        self._store(key, code)
+        return code
+
+    def _store(self, key: str, value) -> None:
+        entries = self._entries
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+        entries[key] = value
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of compilations served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

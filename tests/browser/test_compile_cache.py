@@ -17,9 +17,11 @@ from repro.core.config import PageConfiguration
 from repro.html.serializer import serialize
 from repro.http.messages import HttpRequest, HttpResponse
 from repro.http.network import Network
-from repro.scripting.cache import ScriptAstCache
+from repro.scripting.cache import ScriptAstCache, ScriptCodeCache
+from repro.scripting.compiler import CodeObject
 from repro.scripting.errors import ParseError
 from repro.scripting.interpreter import Interpreter
+from repro.scripting.vm import VirtualMachine
 
 ORIGIN = "http://cache.example.com"
 PAGE_URL = f"{ORIGIN}/page"
@@ -211,6 +213,98 @@ class TestScriptAstCache:
         cache.parse("3;")  # evicts "2;"
         cache.parse("2;")
         assert cache.misses == 4  # "2;" was re-parsed after eviction
+
+
+class TestCachedErrorsAreFresh:
+    """Regression: cache hits must re-raise *copies* of memoised errors.
+
+    Re-raising the same exception object attaches a new ``__traceback__`` to
+    the shared cache entry on every hit, chaining frames from unrelated
+    executions onto it (and pinning their locals in memory).
+    """
+
+    BROKEN = "var = ;"
+
+    def _trap(self, raiser):
+        with pytest.raises(ParseError) as info:
+            raiser()
+        return info.value
+
+    def test_ast_cache_hits_raise_fresh_copies(self):
+        cache = ScriptAstCache()
+        first = self._trap(lambda: cache.parse(self.BROKEN))
+        second = self._trap(lambda: cache.parse(self.BROKEN))
+        third = self._trap(lambda: cache.parse(self.BROKEN))
+        assert cache.hits == 2
+        assert second is not first and third is not second
+        assert second.message == first.message
+        assert second.line == first.line and second.column == first.column
+
+    def test_code_cache_hits_raise_fresh_copies(self):
+        cache = ScriptCodeCache()
+        first = self._trap(lambda: cache.code_for(self.BROKEN))
+        second = self._trap(lambda: cache.code_for(self.BROKEN))
+        assert cache.hits == 1
+        assert second is not first
+        assert (second.message, second.line, second.column) == (
+            first.message,
+            first.line,
+            first.column,
+        )
+
+    def test_cached_entry_traceback_does_not_accumulate(self):
+        cache = ScriptAstCache()
+        with pytest.raises(ParseError):
+            cache.parse(self.BROKEN)
+        entry = next(iter(cache._entries.values()))  # noqa: SLF001
+        frames_before = _traceback_depth(entry)
+        for _ in range(5):
+            with pytest.raises(ParseError):
+                cache.parse(self.BROKEN)
+        assert _traceback_depth(entry) == frames_before
+
+
+def _traceback_depth(error: BaseException) -> int:
+    depth = 0
+    traceback = error.__traceback__
+    while traceback is not None:
+        depth += 1
+        traceback = traceback.tb_next
+    return depth
+
+
+class TestScriptCodeCache:
+    def test_repeat_compiles_hit_and_code_is_shared(self):
+        cache = ScriptCodeCache()
+        first = cache.code_for("var x = 1; x + 1;")
+        second = cache.code_for("var x = 1; x + 1;")
+        assert isinstance(first, CodeObject)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert VirtualMachine().run(first).value == 2.0
+        assert VirtualMachine().run(first).value == 2.0
+
+    def test_stacks_on_the_ast_cache(self):
+        ast_cache = ScriptAstCache()
+        code_cache = ScriptCodeCache()
+        code_cache.code_for("1 + 1;", parse=ast_cache.parse)
+        # A code-cache hit must not even consult the front end again.
+        code_cache.code_for("1 + 1;", parse=ast_cache.parse)
+        assert ast_cache.misses == 1 and ast_cache.hits == 0
+        assert code_cache.hits == 1
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = ScriptCodeCache(maxsize=2)
+        cache.code_for("1;")
+        cache.code_for("2;")
+        cache.code_for("1;")  # refresh
+        cache.code_for("3;")  # evicts "2;"
+        cache.code_for("2;")
+        assert cache.misses == 4
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ScriptCodeCache(0)
 
 
 class TestTemplateCacheBounds:

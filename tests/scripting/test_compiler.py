@@ -1,0 +1,150 @@
+"""Tests for the bytecode compiler and its constant folder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scripting import ast_nodes as ast
+from repro.scripting.compiler import (
+    CodeObject,
+    compile_program,
+    fold_expression,
+    fold_program,
+)
+from repro.scripting.interpreter import Interpreter
+from repro.scripting.parser import parse_script
+from repro.scripting.vm import VirtualMachine
+
+
+def fold_source_expression(source: str):
+    """Parse ``source`` and fold its single expression statement."""
+    program = parse_script(source)
+    statement = program.body[0]
+    assert isinstance(statement, ast.ExpressionStatement)
+    return fold_expression(statement.expression)
+
+
+def run_both(source: str):
+    """Run ``source`` through walker and VM; results must agree."""
+    walker = Interpreter().run(parse_script(source))
+    vm = VirtualMachine().run(compile_program(parse_script(source)))
+    assert walker.failed == vm.failed
+    assert walker.value == vm.value
+    return vm
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds_to_literal(self):
+        folded = fold_source_expression("1 + 2 * 3;")
+        assert isinstance(folded, ast.NumberLiteral)
+        assert folded.value == 7.0
+
+    def test_string_coercion_matches_runtime(self):
+        folded = fold_source_expression("'ring ' + 3;")
+        assert isinstance(folded, ast.StringLiteral)
+        assert folded.value == "ring 3"
+        folded = fold_source_expression("1 + '2';")
+        assert folded.value == "12"
+
+    def test_comparison_and_logic_fold(self):
+        assert fold_source_expression("2 < 3;").value is True
+        # MiniScript `==` coerces like JS: a number meets a numeric string.
+        assert fold_source_expression("1 == '1';").value is True
+        assert fold_source_expression("!true;").value is False
+        assert fold_source_expression("-(4);").value == -4.0
+
+    def test_division_by_zero_folds_like_the_runtime(self):
+        # `/ 0` yields signed infinity at runtime (JS semantics); the folder
+        # must produce the same value, not raise at compile time.
+        folded = fold_source_expression("1 / 0;")
+        assert isinstance(folded, ast.NumberLiteral)
+        assert folded.value == float("inf")
+        # `% 0` raises at runtime, so it must be left unfolded.
+        folded = fold_source_expression("1 % 0;")
+        assert isinstance(folded, ast.Binary)
+
+    def test_short_circuit_folds_only_decided_branches(self):
+        # A literal false left arm decides `&&` without touching the right.
+        folded = fold_source_expression("false && missing;")
+        assert isinstance(folded, ast.BooleanLiteral)
+        assert folded.value is False
+        folded = fold_source_expression("true || missing;")
+        assert folded.value is True
+        # An undecided left arm must keep the expression intact.
+        folded = fold_source_expression("flag && missing;")
+        assert isinstance(folded, ast.Binary)
+
+    def test_folded_literal_keeps_source_line(self):
+        program = parse_script("var pad = 0;\nvar x =\n  1 + 2;\n")
+        folded = fold_program(program)
+        declaration = folded.body[1]
+        literal = declaration.initializer
+        assert isinstance(literal, ast.NumberLiteral)
+        assert literal.value == 3.0
+        assert literal.line == 3
+
+    def test_folding_preserves_semantics_end_to_end(self):
+        source = (
+            "var x = 2 + 3 * 4;"
+            "var s = 'a' + 'b' + x;"
+            "if (1 < 2) { x = x + 1; }"
+            "x + s.length;"
+        )
+        unfolded = VirtualMachine().run(compile_program(parse_script(source), fold=False))
+        folded = VirtualMachine().run(compile_program(parse_script(source), fold=True))
+        assert not folded.failed
+        assert folded.value == unfolded.value
+        run_both(source)
+
+
+class TestCompiler:
+    def test_compile_produces_code_object(self):
+        code = compile_program(parse_script("var x = 1; x + 1;"))
+        assert isinstance(code, CodeObject)
+        assert len(code.insns) == len(code.lines)
+
+    def test_disassemble_is_readable(self):
+        code = compile_program(parse_script("var x = 1; x + 1;"))
+        text = code.disassemble()
+        assert "DEFINE_NAME" in text
+        assert "LOAD_CONST" in text
+
+    def test_constant_pool_is_deduplicated(self):
+        code = compile_program(parse_script("1; 1; 1; 'a'; 'a';"), fold=False)
+        assert code.constants.count(1.0) == 1
+        assert code.constants.count("a") == 1
+
+    def test_fused_comparison_jumps_preserve_semantics(self):
+        # These hit the JF_* / JF_*_CONST fast paths.
+        assert run_both("var n = 0; for (var i = 0; i < 5; i = i + 1) { n = n + 1; } n;").value == 5.0
+        assert run_both("var i = 10; while (i > 3) { i = i - 2; } i;").value == 2.0
+        assert run_both("var x = 1; if (x >= 1) { x = 7; } x;").value == 7.0
+        assert run_both("var a = 'q'; (a == 'q') ? 1 : 2;").value == 1.0
+
+    def test_const_operand_binaries_preserve_semantics(self):
+        assert run_both("var x = 5; x + 2;").value == 7.0
+        assert run_both("var x = 5; x - 2;").value == 3.0
+        assert run_both("var x = 5; x * 2;").value == 10.0
+        assert run_both("var x = 5; x % 2;").value == 1.0
+        assert run_both("'n=' + 1;").value == "n=1"
+
+    def test_const_modulo_by_zero_still_raises(self):
+        source = "var x = 5; x % 0;"
+        with pytest.raises(ZeroDivisionError):
+            VirtualMachine().run(compile_program(parse_script(source)))
+        with pytest.raises(ZeroDivisionError):
+            Interpreter().run(parse_script(source))
+
+    def test_nan_comparisons_match_walker(self):
+        # The fused jumps invert comparisons; NaN makes naive inversion wrong
+        # (`not a < b` is not `a >= b`), so pin the walker's behaviour.
+        for op in ("<", ">", "<=", ">=", "==", "!="):
+            source = f"var nan = 0 / 1 * (0 / 1); nan = 'x' * 1; (nan {op} nan) ? 'T' : 'F';"
+            run_both(source)
+
+    def test_statement_results_match_walker(self):
+        # Program completion value: last expression statement wins, writes in
+        # statement position still publish their value.
+        assert run_both("var x = 1; x = 5;").value == 5.0
+        assert run_both("var x = 1; x = 5; var y = 2;").value is None
+        assert run_both("function f() { var z = 9; z = 3; } f();").value is None

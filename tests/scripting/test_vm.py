@@ -1,0 +1,222 @@
+"""Tests for the bytecode virtual machine: semantics, budget, inline caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scripting.compiler import compile_program
+from repro.scripting.errors import BudgetExceeded, RuntimeScriptError
+from repro.scripting.interpreter import (
+    HostObject,
+    Interpreter,
+    NativeConstructor,
+    NativeFunction,
+)
+from repro.scripting.parser import parse_script
+from repro.scripting.vm import VirtualMachine
+
+
+def run(source: str, globals_map: dict | None = None, **kwargs):
+    return VirtualMachine(globals_map, **kwargs).run(source)
+
+
+def value_of(source: str, globals_map: dict | None = None):
+    result = run(source, globals_map)
+    assert not result.failed, f"script failed: {result.error}"
+    return result.value
+
+
+class _Recorder(HostObject):
+    """A mediating host object: every access goes through js_get/js_set/js_call."""
+
+    host_name = "Recorder"
+
+    def __init__(self, deny: bool = False) -> None:
+        self.deny = deny
+        self.log: list[tuple] = []
+        self.fields: dict = {"x": 1.0}
+
+    def js_get(self, name: str):
+        self.log.append(("get", name))
+        if self.deny:
+            raise RuntimeScriptError(f"access to {name!r} denied")
+        if name in self.fields:
+            return self.fields[name]
+        raise RuntimeScriptError(f"Recorder has no property {name!r}")
+
+    def js_set(self, name: str, value) -> None:
+        self.log.append(("set", name, value))
+        if self.deny:
+            raise RuntimeScriptError(f"write to {name!r} denied")
+        self.fields[name] = value
+
+    def js_call(self, name: str, args: list):
+        self.log.append(("call", name, tuple(args)))
+        if self.deny:
+            raise RuntimeScriptError(f"call to {name!r} denied")
+        if name == "double":
+            return args[0] * 2
+        raise RuntimeScriptError(f"Recorder.{name} is not a function")
+
+
+class TestSemantics:
+    def test_closures_capture_their_environment(self):
+        source = (
+            "function counter() {"
+            "  var n = 0;"
+            "  return function () { n = n + 1; return n; };"
+            "}"
+            "var tick = counter();"
+            "tick(); tick(); tick();"
+        )
+        assert value_of(source) == 3.0
+
+    def test_new_constructs_host_objects(self):
+        built = []
+
+        def factory():
+            recorder = _Recorder()
+            built.append(recorder)
+            return recorder
+
+        source = "var r = new Recorder(); r.x = 5; r.x;"
+        assert value_of(source, {"Recorder": NativeConstructor(factory, "Recorder")}) == 5.0
+        assert built[0].log == [("set", "x", 5.0), ("get", "x")]
+
+    def test_host_callbacks_share_the_budget(self):
+        vm = VirtualMachine(max_steps=10_000)
+        result = vm.run("function handler(n) { return n + 1; } handler;")
+        assert not result.failed
+        assert vm.call_function(result.value, [41.0]) == 42.0
+        assert vm._steps > result.steps  # noqa: SLF001 - budget continuity is the point
+
+    def test_break_propagates_from_called_function(self):
+        # Dynamic signals: a callee's bare `break` terminates the caller's
+        # innermost loop (the walker's quirk, preserved bit for bit).
+        source = (
+            "function stop() { break; }"
+            "var n = 0;"
+            "for (var i = 0; i < 10; i = i + 1) { n = n + 1; stop(); }"
+            "n;"
+        )
+        assert value_of(source) == Interpreter().run(source).value == 1.0
+
+    def test_native_functions_are_callable(self):
+        calls = []
+
+        def probe(*args):
+            calls.append(args)
+            return len(args)
+
+        assert value_of("probe(1, 'a');", {"probe": NativeFunction(probe, "probe")}) == 2
+        assert calls == [(1.0, "a")]
+
+
+class TestBudget:
+    def test_infinite_while_hits_the_budget(self):
+        result = run("while (true) { }", max_steps=2_000)
+        assert isinstance(result.error, BudgetExceeded)
+
+    def test_infinite_for_with_empty_body_hits_the_budget(self):
+        # The budget is only *checked* on back-edges and calls; an empty loop
+        # body must still trip it (every iteration crosses the JUMP).
+        result = run("for (;;) { }", max_steps=2_000)
+        assert isinstance(result.error, BudgetExceeded)
+
+    def test_budget_matches_walker_semantics(self):
+        source = "var n = 0; while (true) { n = n + 1; }"
+        vm = VirtualMachine(max_steps=3_000).run(source)
+        walker = Interpreter(max_steps=3_000).run(source)
+        assert isinstance(vm.error, BudgetExceeded)
+        assert isinstance(walker.error, BudgetExceeded)
+
+    def test_straight_line_code_is_not_throttled(self):
+        # Straight-line work is bounded by program length, so a small budget
+        # still lets a loop-free script finish.
+        result = run("var a = 1; var b = a + 2; b * 3;", max_steps=50)
+        assert not result.failed
+        assert result.value == 9.0
+
+
+class TestInlineCaches:
+    def test_monomorphic_site_hits_after_first_access(self):
+        recorder = _Recorder()
+        vm = VirtualMachine({"r": recorder})
+        result = vm.run(
+            "var total = 0;"
+            "for (var i = 0; i < 10; i = i + 1) { total = total + r.x; }"
+            "total;"
+        )
+        assert not result.failed and result.value == 10.0
+        assert vm.ic_misses >= 1  # the priming access
+        assert vm.ic_hits >= 9
+        assert vm.ic_hit_rate > 0.8
+
+    def test_ic_hits_still_mediate_every_access(self):
+        # The cache memoises *dispatch*, never the verdict: every access --
+        # hit or miss -- must reach js_get.
+        recorder = _Recorder()
+        vm = VirtualMachine({"r": recorder})
+        vm.run("for (var i = 0; i < 10; i = i + 1) { r.x; }")
+        assert [entry for entry in recorder.log if entry[0] == "get"] == [("get", "x")] * 10
+
+    def test_revoked_access_denies_on_a_warm_cache(self):
+        # Warm the site, then flip the host's policy: the very next access
+        # through the cached fast path must be denied.
+        recorder = _Recorder()
+        code = compile_program(parse_script("r.x;"))
+        vm = VirtualMachine({"r": recorder})
+        assert not vm.run(code).failed
+        recorder.deny = True
+        result = VirtualMachine({"r": recorder}).run(code)
+        assert result.failed
+        assert "denied" in str(result.error)
+
+    def test_polymorphic_site_reprimes(self):
+        # Same shared code, different receiver class: the IC misses once,
+        # reprimes, and keeps working.
+        code = compile_program(parse_script("obj.x;"))
+        host_vm = VirtualMachine({"obj": _Recorder()})
+        assert host_vm.run(code).value == 1.0
+        dict_vm = VirtualMachine({"obj": {"x": 9.0}})
+        assert dict_vm.run(code).value == 9.0
+        assert dict_vm.ic_misses >= 1
+        again = VirtualMachine({"obj": {"x": 4.0}})
+        assert again.run(code).value == 4.0
+        assert again.ic_hits >= 1  # dict class is now the cached kind
+
+    def test_method_calls_cache_and_mediate(self):
+        recorder = _Recorder()
+        vm = VirtualMachine({"r": recorder})
+        result = vm.run(
+            "var total = 0;"
+            "for (var i = 0; i < 5; i = i + 1) { total = total + r.double(i); }"
+            "total;"
+        )
+        assert result.value == 20.0
+        assert [entry for entry in recorder.log if entry[0] == "call"] == [
+            ("call", "double", (float(i),)) for i in range(5)
+        ]
+
+    def test_builtin_receivers_are_cached(self):
+        vm = VirtualMachine()
+        result = vm.run(
+            "var parts = 'a|b|c'.split('|');"
+            "var n = 0;"
+            "for (var i = 0; i < parts.length; i = i + 1) { n = n + parts[i].length; }"
+            "n;"
+        )
+        assert result.value == 3.0
+        assert vm.ic_hit_rate > 0.0
+
+
+class TestSharedCode:
+    def test_one_code_object_runs_in_many_vms(self):
+        # The browser shares compiled code across principals; per-VM state
+        # (globals, budget, IC counters) must stay isolated.
+        code = compile_program(parse_script("var n = base + 1; n;"))
+        first = VirtualMachine({"base": 1.0})
+        second = VirtualMachine({"base": 10.0})
+        assert first.run(code).value == 2.0
+        assert second.run(code).value == 11.0
+        assert first.run(code).value == 2.0  # unaffected by the other VM
