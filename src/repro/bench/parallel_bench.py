@@ -1,4 +1,4 @@
-"""Sharded scenario-execution throughput workload.
+"""Work-stealing sharded scenario-execution throughput workload.
 
 Measures the same seeded scenario range serially and sharded over 1 / 2 / 4
 worker processes, verifying on the way that every sharded run's merged
@@ -6,12 +6,24 @@ report is byte-identical to the serial baseline (the parity oracle doubles
 as a correctness certificate for the numbers being compared).  The payload
 lands in ``benchmarks/results/BENCH_parallel_scenarios.json``:
 
-* ``scenarios_per_second`` per worker count,
-* ``speedup_vs_serial`` (relative to the plain serial engine),
-* ``per_worker_cache_hit_rate`` (each shard's private decision caches),
+* ``scenarios_per_second`` per worker count plus ``speedup_vs_serial``,
+* ``per_worker_chunks_stolen`` -- how many queue pulls each worker won
+  (the work-stealing balance evidence),
+* ``per_worker_cache_hit_rate`` (each shard's decision-cache traffic),
+* ``scheduling_efficiency`` -- busy worker-seconds over available
+  worker-seconds, ``sum(shard duration) / (workers * wall clock)``.  A
+  straggler under static sharding leaves siblings idle at the tail and
+  drags this down; the steal queue keeps it near 1.0 on any hardware
+  (unlike raw speedup, it does not depend on physical core count),
 * ``parity_with_serial`` (merged report equality),
+* a ``cold_start`` section comparing warm-shipped workers against the
+  old per-worker-warm-up baseline: wall clock plus each side's *compile
+  misses* (template + AST + bytecode cache misses summed over workers --
+  a deterministic measure of cold-start work, immune to timing noise),
+* an ``efficiency`` section: a larger dedicated run backing the
+  perf-smoke floor of >= 0.8 scheduling efficiency at 4 workers,
 
-plus the host's CPU count, since speedup is meaningless without it.
+plus the host's CPU count, since raw speedup is meaningless without it.
 """
 
 from __future__ import annotations
@@ -29,6 +41,41 @@ PARALLEL_RESULTS_NAME = "BENCH_parallel_scenarios.json"
 #: Worker counts the workload sweeps.
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
 
+#: Perf-smoke floor: busy worker-seconds / available worker-seconds at the
+#: dedicated efficiency run's worker count.
+SCHEDULING_EFFICIENCY_FLOOR = 0.8
+
+#: Scenario count of the dedicated efficiency run -- large enough that the
+#: pool's fixed startup cost (fork + warm-state restore) is amortised the
+#: way a production-size run would amortise it.
+EFFICIENCY_COUNT = 160
+
+#: Worker count the efficiency floor is asserted at.
+EFFICIENCY_WORKERS = 4
+
+
+def _compile_misses(suite) -> int:
+    """Total compile-tier misses (templates + ASTs + bytecode) over all shards.
+
+    The deterministic cold-start metric: a warm-shipped worker finds the
+    parent's entries and misses (almost) nothing; a cold worker re-parses
+    every template and script for itself, once per worker.
+    """
+    total = 0
+    for stat in suite.shard_stats:
+        layers = stat.get("compile_cache") or {}
+        for layer in ("templates", "scripts", "code"):
+            total += (layers.get(layer) or {}).get("misses", 0)
+    return total
+
+
+def scheduling_efficiency(suite) -> float:
+    """Busy worker-seconds over available worker-seconds for one sharded run."""
+    if suite.duration_s <= 0 or suite.workers <= 0:
+        return 0.0
+    busy = sum(stat["duration_s"] for stat in suite.shard_stats)
+    return min(1.0, busy / (suite.workers * suite.duration_s))
+
 
 def measure_parallel_scenarios(
     *,
@@ -37,8 +84,9 @@ def measure_parallel_scenarios(
     models=("escudo", "sop", "none"),
     attack_ratio: float = 0.25,
     worker_counts=DEFAULT_WORKER_COUNTS,
+    efficiency_count: int = EFFICIENCY_COUNT,
 ) -> dict:
-    """Sweep the sharded executor over ``worker_counts`` and build the payload."""
+    """Sweep the work-stealing executor over ``worker_counts``, build the payload."""
     serial = run_suite(seed=seed, count=count, models=models, attack_ratio=attack_ratio)
     serial_parity = serial.parity_dict()
 
@@ -55,6 +103,7 @@ def measure_parallel_scenarios(
         rows.append(
             {
                 "workers": workers,
+                "effective_workers": suite.workers,
                 "ok": suite.ok,
                 "parity_with_serial": suite.parity_dict() == serial_parity,
                 "duration_s": suite.duration_s,
@@ -64,6 +113,13 @@ def measure_parallel_scenarios(
                     if serial.scenarios_per_second > 0
                     else 0.0
                 ),
+                "scheduling_efficiency": scheduling_efficiency(suite),
+                "steal_chunk": suite.steal_chunk,
+                "warm_ship": suite.warm_ship,
+                "per_worker_chunks_stolen": [
+                    stat["chunks_stolen"] for stat in suite.shard_stats
+                ],
+                "per_worker_scenarios": [stat["scenarios"] for stat in suite.shard_stats],
                 "per_worker_cache_hit_rate": [
                     stat["cache_hit_rate"] for stat in suite.shard_stats
                 ],
@@ -72,6 +128,60 @@ def measure_parallel_scenarios(
                 ],
             }
         )
+
+    # Cold-start amortization: warm-shipped workers vs the old per-worker
+    # warm-up, at the sweep's widest worker count.
+    cold_workers = max(worker_counts)
+    warm = run_suite_parallel(
+        seed=seed,
+        count=count,
+        models=models,
+        attack_ratio=attack_ratio,
+        workers=cold_workers,
+        persist_failures=False,
+        warm_ship=True,
+    )
+    cold = run_suite_parallel(
+        seed=seed,
+        count=count,
+        models=models,
+        attack_ratio=attack_ratio,
+        workers=cold_workers,
+        persist_failures=False,
+        warm_ship=False,
+    )
+    cold_start = {
+        "workers": cold_workers,
+        "parity": warm.parity_dict() == cold.parity_dict(),
+        "warm_ship_duration_s": warm.duration_s,
+        "cold_worker_duration_s": cold.duration_s,
+        "warm_ship_scenarios_per_second": warm.scenarios_per_second,
+        "cold_worker_scenarios_per_second": cold.scenarios_per_second,
+        "warm_ship_compile_misses": _compile_misses(warm),
+        "cold_worker_compile_misses": _compile_misses(cold),
+    }
+
+    # Dedicated efficiency run: big enough to amortise pool startup, floor
+    # asserted by the bench test and the CI gate.
+    eff = run_suite_parallel(
+        seed=seed,
+        count=efficiency_count,
+        models=models,
+        attack_ratio=attack_ratio,
+        workers=EFFICIENCY_WORKERS,
+        persist_failures=False,
+    )
+    efficiency = {
+        "workers": EFFICIENCY_WORKERS,
+        "effective_workers": eff.workers,
+        "count": efficiency_count,
+        "ok": eff.ok,
+        "duration_s": eff.duration_s,
+        "scenarios_per_second": eff.scenarios_per_second,
+        "scheduling_efficiency": scheduling_efficiency(eff),
+        "floor": SCHEDULING_EFFICIENCY_FLOOR,
+        "per_worker_chunks_stolen": [stat["chunks_stolen"] for stat in eff.shard_stats],
+    }
 
     return {
         "seed": serial.seed,
@@ -86,6 +196,8 @@ def measure_parallel_scenarios(
             "cache_hit_rate": serial.cache_hit_rate,
         },
         "workers": rows,
+        "cold_start": cold_start,
+        "efficiency": efficiency,
     }
 
 
@@ -98,11 +210,30 @@ def format_parallel_report(payload: dict) -> str:
     ]
     for row in payload["workers"]:
         hit_rates = ", ".join(f"{rate * 100.0:.1f}%" for rate in row["per_worker_cache_hit_rate"])
+        steals = "/".join(str(n) for n in row["per_worker_chunks_stolen"])
         lines.append(
             f"  workers={row['workers']}: {row['scenarios_per_second']:,.1f} scenarios/s "
-            f"({row['speedup_vs_serial']:.2f}x serial) | "
+            f"({row['speedup_vs_serial']:.2f}x serial, "
+            f"sched eff {row['scheduling_efficiency'] * 100.0:.0f}%) | "
             f"parity={'ok' if row['parity_with_serial'] else 'BROKEN'} | "
-            f"per-worker cache hit rate: {hit_rates}"
+            f"chunks stolen: {steals} | per-worker cache hit rate: {hit_rates}"
+        )
+    cold = payload.get("cold_start")
+    if cold:
+        lines.append(
+            f"  cold start @ {cold['workers']} workers: warm-ship "
+            f"{cold['warm_ship_compile_misses']} compile misses / "
+            f"{cold['warm_ship_duration_s']:.2f}s vs cold "
+            f"{cold['cold_worker_compile_misses']} misses / "
+            f"{cold['cold_worker_duration_s']:.2f}s | "
+            f"parity={'ok' if cold['parity'] else 'BROKEN'}"
+        )
+    eff = payload.get("efficiency")
+    if eff:
+        lines.append(
+            f"  efficiency run ({eff['count']} scenarios @ {eff['workers']} workers): "
+            f"{eff['scenarios_per_second']:,.1f} scenarios/s, scheduling efficiency "
+            f"{eff['scheduling_efficiency'] * 100.0:.0f}% (floor {eff['floor'] * 100.0:.0f}%)"
         )
     return "\n".join(lines)
 

@@ -30,11 +30,22 @@ through the scenario runner, across whole scenarios):
 
 :class:`CompileCaches` bundles the three, which is what one scenario worker
 carries for its whole lifetime.
+
+The stack is also *shippable*: :func:`dump_warm_state` serialises a warmed
+stack (plus the owning runner's nonce secret and warmed-app set) into one
+opaque bytes payload, and :func:`load_warm_state` rebuilds it in another
+process -- so N parallel workers can all start from the one warm-up the
+parent paid, instead of each paying its own cold start.  Restoring resets
+the hit/miss telemetry (per-worker rates then describe per-worker traffic)
+and reserves the policy-token range the snapshot's shared policy instances
+already occupy, so locally built policies in a ``spawn`` worker can never
+collide with shipped ones in the shared decision cache's keys.
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -42,6 +53,7 @@ from repro.core.cache import DecisionCache
 from repro.core.config import PageConfiguration
 from repro.core.nonce import NonceMismatch, NonceValidator
 from repro.core.origin import Origin
+from repro.core.policy import reserve_policy_tokens
 from repro.dom.document import Document
 from repro.html.parser import TreeBuilder
 from repro.html.tokenizer import tokenize
@@ -212,6 +224,15 @@ class TemplateCache:
 
     # -- introspection -----------------------------------------------------------------
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping every template.
+
+        The warm-snapshot restore path calls this so a worker's hit rate
+        describes the worker's own traffic, not the parent's warm-up.
+        """
+        self.hits = 0
+        self.misses = 0
+
     @property
     def hit_rate(self) -> float:
         """Fraction of body parses served from the cache."""
@@ -284,6 +305,18 @@ class CompileCaches:
             code=code,
         )
 
+    def reset_counters(self) -> None:
+        """Zero every layer's hit/miss telemetry, keeping all entries.
+
+        Entries stay warm; only the counters restart.  Called when a shipped
+        snapshot is restored in a worker so its reported rates are the
+        worker's own.
+        """
+        self.templates.reset_counters()
+        self.scripts.reset_counters()
+        self.code.reset_counters()
+        self.decisions.reset_counters()
+
     def as_dict(self) -> dict[str, object]:
         """Effectiveness counters of every layer (for benchmark reports)."""
         return {
@@ -292,3 +325,71 @@ class CompileCaches:
             "code": self.code.as_dict(),
             "decisions": self.decisions.info().as_dict(),
         }
+
+
+# -- warm-state shipping -------------------------------------------------------------
+
+
+@dataclass
+class WarmState:
+    """One worker's warm start, serialised by the parent and shipped to all.
+
+    Carries the warmed :class:`CompileCaches` stack plus the two pieces of
+    runner state the cache keys depend on:
+
+    * ``nonce_secret`` -- the markup-randomisation secret.  Template-cache
+      keys are body digests, and response bodies embed nonces seeded from
+      this secret; every worker must use the *parent's* secret or its
+      applications would emit different bytes and miss every shipped
+      template.  Sharing one secret across the workers of one run is safe
+      for the same reason the per-runner secret is: nonce values never enter
+      verdicts, digests or the parity report, and page content still cannot
+      compute them.
+    * ``warmed_apps`` -- the applications the parent already pre-warmed, so
+      workers skip the per-app warm-up entirely.
+    """
+
+    caches: CompileCaches
+    nonce_secret: str
+    warmed_apps: tuple[str, ...]
+
+
+def dump_warm_state(
+    caches: CompileCaches, *, nonce_secret: str, warmed_apps=()
+) -> bytes:
+    """Serialise a warmed stack into one shippable payload.
+
+    Everything in the stack is process-portable by construction: parsed DOM
+    templates (plain node trees), script ASTs / code objects, frozen access
+    decisions and the shared policy instances (whose cache tokens are
+    materialised attributes, so they travel with the pickle).
+    """
+    state = WarmState(
+        caches=caches,
+        nonce_secret=nonce_secret,
+        warmed_apps=tuple(warmed_apps),
+    )
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_warm_state(data: bytes) -> WarmState:
+    """Rebuild a shipped warm state in this process.
+
+    Two restore-side fixups keep the snapshot safe outside its birth
+    process:
+
+    * the policy-token range the shipped policies occupy is reserved, so a
+      policy built locally afterwards (e.g. for a matrix column the parent
+      never warmed) can never draw a token a shipped policy already owns --
+      under ``spawn`` the local counter restarts at zero, and a collision
+      would let the shared decision cache serve one policy's verdicts for
+      another;
+    * the hit/miss telemetry is zeroed (entries stay warm), so per-worker
+      cache rates describe per-worker traffic.
+    """
+    state: WarmState = pickle.loads(data)
+    tokens = [policy.cache_token for policy in state.caches.policies.values()]
+    if tokens:
+        reserve_policy_tokens(max(tokens) + 1)
+    state.caches.reset_counters()
+    return state

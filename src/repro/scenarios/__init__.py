@@ -40,7 +40,14 @@ from .model import (
     resolve_models,
 )
 from .oracle import DifferentialOracle, Verdict
-from .parallel import ParallelSuiteResult, partition_indices, run_suite_parallel
+from .parallel import (
+    ParallelSuiteResult,
+    default_steal_chunk,
+    partition_indices,
+    resolve_mp_context,
+    run_suite_parallel,
+    steal_chunks,
+)
 from .runner import DenialRecord, ScenarioRun, ScenarioRunner
 
 __all__ = [
@@ -63,12 +70,15 @@ __all__ = [
     "attack_corpus",
     "canonical_spec_json",
     "default_corpus_dir",
+    "default_steal_chunk",
     "load_corpus",
     "make_step",
     "partition_indices",
     "resolve_models",
+    "resolve_mp_context",
     "run_suite",
     "run_suite_parallel",
+    "steal_chunks",
     "save_entry",
     "save_failure",
 ]

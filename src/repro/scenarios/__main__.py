@@ -63,6 +63,21 @@ def _parse_args(argv) -> argparse.Namespace:
         "report is byte-identical to the serial run of the same seed range)",
     )
     parser.add_argument(
+        "--steal-chunk",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scenario indices handed out per work-stealing queue pull "
+        "(default: 0 = auto, roughly four pulls per worker)",
+    )
+    parser.add_argument(
+        "--no-warm-ship",
+        action="store_true",
+        help="do not ship the parent's pre-warmed compile-cache snapshot to "
+        "the workers; every worker then warms its own caches from scratch "
+        "(the cold-start benchmark baseline)",
+    )
+    parser.add_argument(
         "--corpus",
         default="",
         metavar="DIR",
@@ -151,6 +166,8 @@ def main(argv=None) -> int:
         persist_failures=not args.no_corpus,
         compile_caches=not args.cold,
         script_engine="walker" if args.ast_walker else "vm",
+        steal_chunk=args.steal_chunk or None,
+        warm_ship=not args.no_warm_ship,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))

@@ -28,6 +28,11 @@ class SuiteResult:
     #: The generator's attack ratio -- part of a replay token's context.
     attack_ratio: float = 0.0
     verdicts: list[Verdict] = field(default_factory=list)
+    #: The scenario indices actually executed, in execution order -- always
+    #: parallel to ``verdicts``.  The sharded executor pairs verdicts with
+    #: their global indices through this field (and fails loudly on a length
+    #: mismatch) instead of silently zipping against the requested slice.
+    indices: list[int] = field(default_factory=list)
     #: Full specs of failing scenarios (``{"index", "spec", "reason",
     #: "replay"}``) -- the regression corpus pins these.
     failure_specs: list[dict] = field(default_factory=list)
@@ -195,6 +200,7 @@ def run_suite(
         scenario = generator.scenario(index)
         runs = runner.run(scenario)
         verdict = oracle.classify(scenario, runs)
+        result.indices.append(index)
         result.verdicts.append(verdict)
         if not verdict.ok:
             result.failure_specs.append(

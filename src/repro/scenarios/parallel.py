@@ -1,40 +1,53 @@
-"""Sharded parallel scenario execution with deterministic result merging.
+"""Work-stealing parallel scenario execution with warm-state shipping.
 
 The serial engine (:func:`repro.scenarios.engine.run_suite`) executes one
 scenario at a time in one process -- fine for a hundred scenarios, a ceiling
-for the ROADMAP's fuzzing-at-scale ambitions.  This module partitions the
-seeded index space across N share-nothing worker processes:
+for the ROADMAP's fuzzing-at-scale ambitions.  This module distributes the
+seeded index space over N worker processes and fixes the two defects the
+first sharded executor shipped with:
 
-* each worker constructs its **own** generator / runner / oracle stack (and,
-  through them, its own applications, networks, browsers, reference monitors
-  and decision caches -- nothing is shared, nothing needs locking);
-* scenario ``i`` of seed ``s`` is the same scenario in every process (the
-  generator keys an isolated ``random.Random`` on ``(seed, index)``), so a
-  shard's verdicts are byte-identical to the verdicts a serial run produces
-  for the same indices;
-* shard reports are merged deterministically -- verdicts re-sorted by
-  scenario index, aggregate counters summed -- so
+* **N workers no longer pay N cold starts.**  The parent warms *one*
+  compile-cache stack (parsed DOM templates, script ASTs / bytecode,
+  policy-matrix mediation verdicts) via the ordinary
+  :class:`~repro.scenarios.runner.ScenarioRunner` warm-up, serialises it
+  with :func:`~repro.browser.compile_cache.dump_warm_state`, and ships the
+  snapshot to every worker -- which then starts warm, whatever the start
+  method.  ``warm_ship=False`` restores the cold-worker baseline (what the
+  benchmark's cold-start-amortization section measures).
+* **A slow shard no longer stalls the merge.**  Instead of owning a fixed
+  strided slice, workers *pull* contiguous index chunks from a shared queue
+  until it runs dry (work stealing): a worker that lands expensive attack
+  scenarios simply takes fewer chunks while its siblings drain the rest.
+  Which worker runs which chunk is timing-dependent, but the *result* is
+  not: scenario ``i`` of seed ``s`` is the same scenario in every process
+  (the generator keys an isolated ``random.Random`` on ``(seed, index)``),
+  caches never change outcomes (templates are served as aliasing-free
+  clones, decisions are value-keyed with generation invalidation), and the
+  merge re-sorts verdicts into scenario-index order -- so
   :meth:`~repro.scenarios.engine.SuiteResult.parity_dict` of a parallel run
-  equals the serial run's, byte for byte;
-* every failing spec is pinned into the regression corpus
-  (:mod:`repro.scenarios.corpus`) from the parent process (a single writer,
-  so no file races between workers).
+  equals the serial run's, byte for byte, on every run.
 
-Everything that crosses the process boundary is a plain dict of JSON-native
-values: the shard config going out, the shard report coming back.  Worker
-processes are started by :class:`concurrent.futures.ProcessPoolExecutor`;
-under the default ``fork`` start method they inherit runtime application /
-attack registrations, under ``spawn`` only import-time registrations exist
-(an unknown attack name then fails loudly in the worker rather than
-silently generating different scenarios: the parent snapshots its attack
-corpus into the shard config).
+Worker processes are plain :class:`multiprocessing.Process` instances on an
+explicitly pinned context (``fork`` where the platform offers it, else
+``spawn`` -- never the platform default, which has changed across Python
+releases).  Under ``fork`` workers inherit runtime application / attack
+registrations; under ``spawn`` only import-time registrations exist, and an
+unknown attack name fails loudly in the worker rather than silently
+generating different scenarios (the parent snapshots its attack corpus into
+the shard config).  Everything crossing the process boundary is picklable:
+the config and warm-state bytes going out, plain-dict reports coming back.
+Failing specs are pinned into the regression corpus
+(:mod:`repro.scenarios.corpus`) from the parent process only (a single
+writer, so no file races between workers).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
 from dataclasses import dataclass, field
+from queue import Empty
 
 from .corpus import save_failure
 from .engine import SuiteResult, run_suite
@@ -43,14 +56,19 @@ from .model import resolve_models
 from .oracle import DifferentialOracle, Verdict
 from .runner import ScenarioRunner
 
+#: Upper bound on the auto-selected steal-chunk size.
+MAX_AUTO_STEAL_CHUNK = 16
+
+#: Seconds between liveness checks while waiting for worker reports.
+_REPORT_POLL_S = 10.0
+
 
 def partition_indices(count: int, shards: int) -> list[list[int]]:
     """Strided partition of ``range(count)`` into ``shards`` balanced slices.
 
-    Striding (shard ``k`` takes indices ``k, k+shards, ...``) spreads the
-    expensive attack scenarios -- which the seeded gate sprinkles across the
-    index space -- evenly over workers, where contiguous blocks could hand
-    one worker a run of them.
+    Kept for callers that want a *static* assignment (striding spreads the
+    expensive seeded attack scenarios evenly); the executor itself now uses
+    :func:`steal_chunks` and lets workers balance dynamically.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
@@ -59,40 +77,115 @@ def partition_indices(count: int, shards: int) -> list[list[int]]:
     return [list(range(shard, count, shards)) for shard in range(shards)]
 
 
+def steal_chunks(count: int, chunk_size: int) -> list[list[int]]:
+    """Contiguous chunks of ``range(count)``, the work-stealing queue's units.
+
+    Contiguity is deliberate: balance comes from workers *pulling* chunks,
+    not from interleaving, and contiguous indices keep each pull cheap to
+    describe.  Every index appears in exactly one chunk, in order.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("steal chunk size must be positive")
+    return [list(range(lo, min(lo + chunk_size, count))) for lo in range(0, count, chunk_size)]
+
+
+def default_steal_chunk(count: int, shards: int) -> int:
+    """Auto chunk size: ~4 pulls per worker, capped so tails stay balanced."""
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    return max(1, min(MAX_AUTO_STEAL_CHUNK, -(-count // (shards * 4))))
+
+
+def resolve_mp_context(name: str | None) -> str:
+    """The pinned start method: an explicit ``name``, else fork-if-available.
+
+    The *platform default* is deliberately never used -- it has changed
+    across Python releases (``fork`` -> ``forkserver``/``spawn``), and the
+    executor's registry semantics (runtime registrations survive only under
+    ``fork``) must not silently flip with an interpreter upgrade.
+    """
+    if name:
+        if name not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {name!r} unavailable on this platform; "
+                f"known: {multiprocessing.get_all_start_methods()}"
+            )
+        return name
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _build_worker_runner(config: dict) -> ScenarioRunner:
+    """One worker's runner: restored from the shipped warm state, or cold."""
+    warm_state = config.get("warm_state")
+    if warm_state is not None:
+        return ScenarioRunner.from_warm_snapshot(
+            warm_state,
+            models=tuple(config["models"]),
+            script_engine=config.get("script_engine", "vm"),
+        )
+    return ScenarioRunner(
+        models=tuple(config["models"]),
+        compile_caches=config.get("compile_caches", True),
+        script_engine=config.get("script_engine", "vm"),
+    )
+
+
+def _build_worker_generator(config: dict) -> ScenarioGenerator:
+    return ScenarioGenerator(
+        seed=config["seed"],
+        apps=tuple(config["apps"]),
+        attack_ratio=config["attack_ratio"],
+        _attack_names=tuple(config["attack_names"]),
+    )
+
+
+def _verdict_entries(shard: int, indices: list[int], suite: SuiteResult) -> list[dict]:
+    """Pair a slice's verdicts with their global scenario indices.
+
+    Fails loudly on a length mismatch: if a scenario raised mid-slice and
+    something upstream swallowed it, a silent ``zip`` would truncate the
+    verdict list and the merge would report a *smaller, passing* suite.
+    The engine records the indices it actually executed
+    (:attr:`~repro.scenarios.engine.SuiteResult.indices`), so the first
+    unaccounted index is named in the error.
+    """
+    if len(suite.verdicts) != len(indices) or suite.indices != list(indices):
+        executed = len(suite.verdicts)
+        offending = indices[executed] if executed < len(indices) else indices[-1]
+        raise RuntimeError(
+            f"shard {shard}: {executed} verdict(s) for {len(indices)} requested "
+            f"scenario indices; first unaccounted index is {offending}"
+        )
+    return [
+        {"index": index, "kind": verdict.kind, "verdict": verdict.as_dict()}
+        for index, verdict in zip(indices, suite.verdicts)
+    ]
+
+
 def _run_shard(config: dict) -> dict:
-    """Execute one shard in a worker process (share-nothing, picklable I/O).
+    """Execute one fixed slice in-process (the single-worker fast path).
 
     Builds a private generator / runner / oracle from the config snapshot and
     delegates to :func:`~repro.scenarios.engine.run_suite` over the shard's
     indices -- the serial engine's loop *is* the shard loop, so the two can
     never drift apart.
     """
+    indices = list(config["indices"])
+    runner = _build_worker_runner(config)
     suite = run_suite(
-        generator=ScenarioGenerator(
-            seed=config["seed"],
-            apps=tuple(config["apps"]),
-            attack_ratio=config["attack_ratio"],
-            _attack_names=tuple(config["attack_names"]),
-        ),
-        # One runner per shard = one compile-cache stack per worker process:
-        # templates, script ASTs and decision-cache warmth live for the
-        # shard's whole index slice.
-        runner=ScenarioRunner(
-            models=tuple(config["models"]),
-            compile_caches=config.get("compile_caches", True),
-            script_engine=config.get("script_engine", "vm"),
-        ),
+        generator=_build_worker_generator(config),
+        runner=runner,
         oracle=DifferentialOracle(),
-        indices=config["indices"],
+        indices=indices,
     )
     return {
         "shard": config["shard"],
         "scenarios": len(suite.verdicts),
         "duration_s": suite.duration_s,
-        "verdicts": [
-            {"index": index, "kind": verdict.kind, "verdict": verdict.as_dict()}
-            for index, verdict in zip(config["indices"], suite.verdicts)
-        ],
+        "chunks_stolen": 1 if indices else 0,
+        "verdicts": _verdict_entries(config["shard"], indices, suite),
         "failures": suite.failure_specs,
         "mediations": suite.mediations,
         "denied": suite.denied,
@@ -100,14 +193,87 @@ def _run_shard(config: dict) -> dict:
         "cache_lookups": suite.cache_lookups,
         "pages_loaded": suite.pages_loaded,
         "tasks_run": suite.tasks_run,
+        "compile_cache": runner.caches.as_dict() if runner.caches is not None else None,
     }
+
+
+def _steal_worker(worker_id: int, config: dict, task_queue, result_queue) -> None:
+    """One pool worker: pull index chunks until the queue yields a sentinel.
+
+    The generator / runner / oracle stack is built **once** and reused for
+    every stolen chunk, so cache warmth (shipped or self-accumulated)
+    spans the worker's whole lifetime.  Any failure is reported back as an
+    ``error`` entry instead of a silent empty report.
+    """
+    try:
+        start = time.perf_counter()
+        generator = _build_worker_generator(config)
+        runner = _build_worker_runner(config)
+        oracle = DifferentialOracle()
+        report = {
+            "shard": worker_id,
+            "scenarios": 0,
+            "chunks_stolen": 0,
+            "verdicts": [],
+            "failures": [],
+            "mediations": 0,
+            "denied": 0,
+            "cache_hits": 0,
+            "cache_lookups": 0,
+            "pages_loaded": 0,
+            "tasks_run": 0,
+        }
+        while True:
+            chunk = task_queue.get()
+            if chunk is None:
+                break
+            suite = run_suite(
+                generator=generator, runner=runner, oracle=oracle, indices=chunk
+            )
+            report["verdicts"].extend(_verdict_entries(worker_id, chunk, suite))
+            report["failures"].extend(suite.failure_specs)
+            report["chunks_stolen"] += 1
+            report["scenarios"] += len(suite.verdicts)
+            for counter in (
+                "mediations",
+                "denied",
+                "cache_hits",
+                "cache_lookups",
+                "pages_loaded",
+                "tasks_run",
+            ):
+                report[counter] += getattr(suite, counter)
+        report["duration_s"] = time.perf_counter() - start
+        report["compile_cache"] = (
+            runner.caches.as_dict() if runner.caches is not None else None
+        )
+        result_queue.put(report)
+    except BaseException as exc:  # pragma: no cover - exercised via fault injection
+        result_queue.put(
+            {
+                "shard": worker_id,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
 
 
 @dataclass
 class ParallelSuiteResult(SuiteResult):
     """A merged sharded run: the serial result shape plus worker statistics."""
 
+    #: The *effective* worker count: ``run_suite_parallel`` clamps the
+    #: request to ``min(workers, count)``, and this records what actually
+    #: ran (``shard_stats`` has exactly this many entries).
     workers: int = 1
+    #: What the caller asked for, before clamping.
+    requested_workers: int = 1
+    #: Whether workers started from the parent's shipped warm state.
+    warm_ship: bool = False
+    #: Steal-queue chunk size (0 for the single-worker in-process path).
+    steal_chunk: int = 0
+    #: The pinned multiprocessing start method ("" for in-process runs).
+    mp_start_method: str = ""
     #: Per-shard execution statistics (scenario counts, throughput, cache).
     shard_stats: list[dict] = field(default_factory=list)
     #: Corpus files the run's failures were pinned into.
@@ -116,6 +282,10 @@ class ParallelSuiteResult(SuiteResult):
     def as_dict(self) -> dict:
         data = super().as_dict()
         data["workers"] = self.workers
+        data["requested_workers"] = self.requested_workers
+        data["warm_ship"] = self.warm_ship
+        data["steal_chunk"] = self.steal_chunk
+        data["mp_start_method"] = self.mp_start_method
         data["shards"] = self.shard_stats
         if self.corpus_paths:
             data["corpus"] = list(self.corpus_paths)
@@ -126,12 +296,42 @@ class ParallelSuiteResult(SuiteResult):
         shard_line = " / ".join(
             f"{stat['scenarios_per_second']:,.1f}" for stat in self.shard_stats
         )
+        steal_line = " / ".join(
+            str(stat.get("chunks_stolen", 0)) for stat in self.shard_stats
+        )
         lines.append(
             f"  {self.workers} worker(s) | per-shard scenarios/s: {shard_line or 'n/a'}"
+            + (f" | chunks stolen: {steal_line}" if self.workers > 1 else "")
         )
         for path in self.corpus_paths:
             lines.append(f"  pinned failing spec -> {path}")
         return "\n".join(lines)
+
+
+def _collect_reports(processes: list, result_queue, expected: int) -> list[dict]:
+    """Wait for ``expected`` worker reports, failing loudly on dead workers."""
+    reports: list[dict] = []
+    while len(reports) < expected:
+        try:
+            report = result_queue.get(timeout=_REPORT_POLL_S)
+        except Empty:
+            dead = {
+                proc.name: proc.exitcode
+                for proc in processes
+                if proc.exitcode not in (None, 0)
+            }
+            if dead:
+                raise RuntimeError(
+                    f"parallel worker process(es) died without reporting: {dead}"
+                )
+            continue
+        if "error" in report:
+            raise RuntimeError(
+                f"shard {report['shard']} failed: {report['error']}\n"
+                + report.get("traceback", "")
+            )
+        reports.append(report)
+    return reports
 
 
 def run_suite_parallel(
@@ -145,46 +345,96 @@ def run_suite_parallel(
     persist_failures: bool = True,
     compile_caches: bool = True,
     script_engine: str = "vm",
+    steal_chunk: int | None = None,
+    warm_ship: bool = True,
+    mp_context: str | None = None,
 ) -> ParallelSuiteResult:
-    """Run ``count`` seeded scenarios sharded over ``workers`` processes.
+    """Run ``count`` seeded scenarios over a work-stealing worker pool.
 
     The merged result's :meth:`~repro.scenarios.engine.SuiteResult.parity_dict`
     is byte-identical to a serial :func:`~repro.scenarios.engine.run_suite`
-    of the same seed range.  Failing specs are pinned into the regression
-    corpus (``corpus_dir``, defaulting to ``tests/scenarios/corpus/``) unless
-    ``persist_failures`` is off.  ``compile_caches=False`` runs every worker
-    cold (the benchmark baseline).
+    of the same seed range -- with stealing and warm shipping on, off, or
+    mixed.  Failing specs are pinned into the regression corpus
+    (``corpus_dir``, defaulting to ``tests/scenarios/corpus/``) unless
+    ``persist_failures`` is off.
+
+    ``steal_chunk`` sets how many consecutive scenario indices one queue
+    pull hands a worker (default: auto, ~4 pulls per worker).
+    ``warm_ship=False`` makes every worker warm its own caches from scratch
+    (the PR-5 behaviour, kept as the benchmark's cold-start baseline);
+    ``compile_caches=False`` disables the cache stack entirely.
+    ``mp_context`` pins the multiprocessing start method (default: ``fork``
+    where available, else ``spawn``; see :func:`resolve_mp_context`).
     """
-    workers = max(1, int(workers))
+    requested = max(1, int(workers))
     model_names = tuple(spec.name for spec in resolve_models(models))
     # The parent-side generator is only a configuration snapshot: its apps
     # and attack-name tuple travel to the workers so every process generates
     # from the identical vocabulary, runtime registrations included.
     generator = ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
-    shard_count = max(1, min(workers, count))
-    configs = [
-        {
-            "shard": shard,
-            "indices": indices,
-            "seed": generator.seed,
-            "apps": generator.apps,
-            "attack_ratio": generator.attack_ratio,
-            "attack_names": generator._attack_names,
-            "models": model_names,
-            "compile_caches": compile_caches,
-            "script_engine": script_engine,
-        }
-        for shard, indices in enumerate(partition_indices(count, shard_count))
-    ]
+    shard_count = max(1, min(requested, count))
+    config = {
+        "seed": generator.seed,
+        "apps": generator.apps,
+        "attack_ratio": generator.attack_ratio,
+        "attack_names": generator._attack_names,
+        "models": model_names,
+        "compile_caches": compile_caches,
+        "script_engine": script_engine,
+    }
 
     start = time.perf_counter()
     if shard_count == 1:
-        # One worker needs no pool: run the shard in-process, through the
-        # exact same code path the pooled workers take.
-        reports = [_run_shard(config) for config in configs]
+        # One worker needs no pool (and nothing shipped): run the whole range
+        # in-process, through the exact same runner-construction code path
+        # the pooled workers take.
+        chunk_size = 0
+        shipped = False
+        start_method = ""
+        reports = [_run_shard(dict(config, shard=0, indices=list(range(count))))]
     else:
-        with ProcessPoolExecutor(max_workers=shard_count) as pool:
-            reports = list(pool.map(_run_shard, configs))
+        chunk_size = int(steal_chunk) if steal_chunk else default_steal_chunk(count, shard_count)
+        if chunk_size < 1:
+            raise ValueError("steal_chunk must be positive")
+        shipped = bool(compile_caches and warm_ship)
+        if shipped:
+            # Pay the warm-up exactly once, in the parent: index pages of
+            # every generated app, across the whole policy matrix.
+            warm_runner = ScenarioRunner(
+                models=model_names,
+                compile_caches=True,
+                script_engine=script_engine,
+            )
+            warm_runner.warm_for(generator.apps)
+            config["warm_state"] = warm_runner.warm_snapshot()
+        start_method = resolve_mp_context(mp_context)
+        ctx = multiprocessing.get_context(start_method)
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        for chunk in steal_chunks(count, chunk_size):
+            task_queue.put(chunk)
+        for _ in range(shard_count):
+            task_queue.put(None)  # one shutdown sentinel per worker
+        processes = [
+            ctx.Process(
+                target=_steal_worker,
+                args=(worker_id, config, task_queue, result_queue),
+                daemon=True,
+            )
+            for worker_id in range(shard_count)
+        ]
+        for process in processes:
+            process.start()
+        try:
+            reports = _collect_reports(processes, result_queue, shard_count)
+        finally:
+            # Normal path: every worker has already exited (or is flushing its
+            # queue feeder after we consumed its report).  Error path: reap
+            # whatever is still draining the task queue.
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join()
     duration = time.perf_counter() - start
 
     result = ParallelSuiteResult(
@@ -192,17 +442,28 @@ def run_suite_parallel(
         count=count,
         models=model_names,
         attack_ratio=generator.attack_ratio,
-        workers=workers,
+        workers=shard_count,
+        requested_workers=requested,
+        warm_ship=shipped,
+        steal_chunk=chunk_size,
+        mp_start_method=start_method,
     )
     result.duration_s = duration
 
     # Deterministic merge: shards in shard order for the stats, verdicts
-    # re-interleaved into scenario-index order (the serial execution order).
+    # re-interleaved into scenario-index order (the serial execution order)
+    # -- stealing makes the chunk->worker assignment timing-dependent, but
+    # the sorted union is the same on every run.
     reports.sort(key=lambda report: report["shard"])
     merged = sorted(
         (entry for report in reports for entry in report["verdicts"]),
         key=lambda entry: entry["index"],
     )
+    if [entry["index"] for entry in merged] != list(range(count)):
+        raise RuntimeError(
+            f"merge integrity violation: expected scenario indices 0..{count - 1}, "
+            f"got {len(merged)} verdict(s)"
+        )
     for entry in merged:
         data = entry["verdict"]
         result.verdicts.append(
@@ -214,6 +475,7 @@ def run_suite_parallel(
                 replay=data.get("replay", ""),
             )
         )
+    result.indices = [entry["index"] for entry in merged]
     result.failure_specs = sorted(
         (failure for report in reports for failure in report["failures"]),
         key=lambda failure: failure["index"],
@@ -230,6 +492,7 @@ def run_suite_parallel(
             {
                 "shard": report["shard"],
                 "scenarios": report["scenarios"],
+                "chunks_stolen": report["chunks_stolen"],
                 "duration_s": shard_duration,
                 "scenarios_per_second": (
                     report["scenarios"] / shard_duration if shard_duration > 0 else 0.0
@@ -241,6 +504,7 @@ def run_suite_parallel(
                 ),
                 "mediations": report["mediations"],
                 "denied": report["denied"],
+                "compile_cache": report.get("compile_cache"),
             }
         )
 

@@ -14,6 +14,12 @@ execution state lives in :class:`~repro.scripting.interpreter.Environment`
 chains, never on the nodes.  Parse *errors* are memoised too -- a scenario
 that replays a syntactically broken payload should not re-lex it a hundred
 times just to rediscover the same :class:`ParseError`.
+
+Both caches are process-portable: entries are plain ASTs / code objects /
+exceptions with no handles on the owning process, so a warmed cache can be
+pickled into a warm-state snapshot and shipped to worker processes (see
+:mod:`repro.browser.compile_cache`).  :meth:`~ScriptAstCache.reset_counters`
+is the restore side's hook for starting per-worker telemetry cold.
 """
 
 from __future__ import annotations
@@ -88,6 +94,16 @@ class ScriptAstCache:
         entries[key] = value
 
     # -- introspection ---------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping every entry.
+
+        Part of the warm-snapshot protocol: a worker restoring a shipped
+        cache starts its *telemetry* cold (so per-worker hit rates describe
+        that worker's own traffic) while the entries stay warm.
+        """
+        self.hits = 0
+        self.misses = 0
 
     @property
     def hit_rate(self) -> float:
@@ -171,6 +187,12 @@ class ScriptCodeCache:
         entries[key] = value
 
     # -- introspection ---------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping every entry (see
+        :meth:`ScriptAstCache.reset_counters`)."""
+        self.hits = 0
+        self.misses = 0
 
     @property
     def hit_rate(self) -> float:

@@ -67,6 +67,26 @@ class TestSuiteRuns:
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 2
 
+    def test_steal_chunk_and_no_warm_ship_flags(self, capsys):
+        rc = main(
+            [
+                "--seed", "42",
+                "--count", "4",
+                "--workers", "2",
+                "--steal-chunk", "1",
+                "--no-warm-ship",
+                "--no-corpus",
+                "--json",
+                "--bench-out", "",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["steal_chunk"] == 1
+        assert payload["warm_ship"] is False
+        # Four single-index chunks were pulled across the two workers.
+        assert sum(shard["chunks_stolen"] for shard in payload["shards"]) == 4
+
 
 class TestReplay:
     def test_replay_spec_emits_clean_json_on_stdout(self, capsys):

@@ -12,15 +12,25 @@ corpus, deduplicated, and the pinned entries must replay).
 from __future__ import annotations
 
 import json
+import multiprocessing
+
+import pytest
 
 from repro.scenarios import (
     ScenarioGenerator,
+    ScenarioRunner,
+    default_steal_chunk,
     load_corpus,
     partition_indices,
+    resolve_mp_context,
     run_suite,
     run_suite_parallel,
+    steal_chunks,
 )
+from repro.scenarios.engine import SuiteResult
 from repro.scenarios.model import canonical_spec_json
+from repro.scenarios.oracle import Verdict
+from repro.scenarios.parallel import _verdict_entries
 
 SEED = 42
 ATTACK_RATIO = 0.25
@@ -43,6 +53,39 @@ class TestPartitioning:
     def test_partition_is_strided(self):
         # Striding spreads seeded attack scenarios evenly across workers.
         assert partition_indices(8, 3) == [[0, 3, 6], [1, 4, 7], [2, 5]]
+
+
+class TestStealScheduling:
+    def test_chunks_cover_index_space_exactly_once_in_order(self):
+        for count in (0, 1, 7, 50, 101):
+            for chunk_size in (1, 3, 16, 200):
+                chunks = steal_chunks(count, chunk_size)
+                flattened = [index for chunk in chunks for index in chunk]
+                assert flattened == list(range(count))
+
+    def test_chunks_are_contiguous_and_bounded(self):
+        chunks = steal_chunks(10, 4)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            steal_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            steal_chunks(10, 0)
+        with pytest.raises(ValueError):
+            default_steal_chunk(10, 0)
+
+    def test_default_chunk_targets_four_pulls_per_worker(self):
+        assert default_steal_chunk(100, 4) == 7  # ceil(100/16)
+        assert default_steal_chunk(3, 8) == 1  # never zero
+        assert default_steal_chunk(10_000, 2) == 16  # capped so tails rebalance
+
+    def test_resolve_mp_context_pins_an_available_method(self):
+        available = multiprocessing.get_all_start_methods()
+        assert resolve_mp_context(None) in available
+        assert resolve_mp_context("spawn") == "spawn"  # spawn exists everywhere
+        with pytest.raises(ValueError, match="unavailable"):
+            resolve_mp_context("no-such-start-method")
 
 
 class TestSerialParallelParity:
@@ -132,7 +175,186 @@ class TestSerialParallelParity:
         # ...and the sharded run contributes its worker statistics.
         assert data["workers"] == 2
         assert len(data["shards"]) == 2
+        # The work-stealing executor's knobs are part of the payload.
+        assert data["requested_workers"] == 2
+        assert data["warm_ship"] is True
+        assert data["steal_chunk"] >= 1
+        assert data["mp_start_method"] in multiprocessing.get_all_start_methods()
         json.dumps(data)  # the payload must stay JSON-serialisable
+
+
+class TestWorkStealing:
+    """The steal queue and warm shipping never change the merged report."""
+
+    def test_fine_grained_stealing_matches_serial(self):
+        """steal_chunk=1 maximises queue contention; parity must survive it."""
+        serial = run_suite(seed=SEED, count=16, attack_ratio=ATTACK_RATIO)
+        baseline = canonical_spec_json(serial.parity_dict())
+        for workers in (2, 4):
+            sharded = run_suite_parallel(
+                seed=SEED,
+                count=16,
+                attack_ratio=ATTACK_RATIO,
+                workers=workers,
+                steal_chunk=1,
+                persist_failures=False,
+            )
+            assert canonical_spec_json(sharded.parity_dict()) == baseline, (
+                f"parity broke at {workers} workers with steal_chunk=1"
+            )
+            assert sharded.steal_chunk == 1
+            # All 16 single-index chunks were pulled by someone.
+            stolen = [stat["chunks_stolen"] for stat in sharded.shard_stats]
+            assert sum(stolen) == 16
+
+    def test_repeated_sharded_runs_are_byte_identical(self):
+        """Chunk->worker assignment is timing-dependent; the report is not."""
+        runs = [
+            run_suite_parallel(
+                seed=SEED,
+                count=14,
+                attack_ratio=ATTACK_RATIO,
+                workers=2,
+                steal_chunk=1,
+                persist_failures=False,
+            )
+            for _ in range(2)
+        ]
+        assert canonical_spec_json(runs[0].parity_dict()) == canonical_spec_json(
+            runs[1].parity_dict()
+        )
+
+    def test_cold_workers_match_warm_shipped(self):
+        """warm_ship only moves cache warm-up, never outcomes."""
+        warm = run_suite_parallel(
+            seed=SEED, count=12, attack_ratio=ATTACK_RATIO, workers=2,
+            warm_ship=True, persist_failures=False,
+        )
+        cold = run_suite_parallel(
+            seed=SEED, count=12, attack_ratio=ATTACK_RATIO, workers=2,
+            warm_ship=False, persist_failures=False,
+        )
+        assert warm.warm_ship is True
+        assert cold.warm_ship is False
+        assert canonical_spec_json(warm.parity_dict()) == canonical_spec_json(
+            cold.parity_dict()
+        )
+
+    def test_empty_suite_is_ok(self):
+        result = run_suite_parallel(
+            seed=SEED, count=0, attack_ratio=ATTACK_RATIO, workers=4,
+            persist_failures=False,
+        )
+        assert result.ok
+        assert result.verdicts == []
+        assert result.workers == 1  # nothing to shard; runs in-process
+        assert result.requested_workers == 4
+        assert result.parity_dict() == run_suite(
+            seed=SEED, count=0, attack_ratio=ATTACK_RATIO
+        ).parity_dict()
+
+    def test_effective_worker_count_is_recorded(self):
+        """The result records what ran, not what was asked for."""
+        result = run_suite_parallel(
+            seed=SEED, count=3, attack_ratio=0.0, workers=8, persist_failures=False
+        )
+        assert result.workers == 3
+        assert result.requested_workers == 8
+        assert len(result.shard_stats) == 3
+        assert result.as_dict()["workers"] == 3
+
+    def test_spawn_context_parity(self):
+        """Pinning spawn must reproduce the serial report (no fork-only state).
+
+        Under spawn the worker re-imports the package from scratch, so this
+        regresses the old fork-only assumptions: the warm snapshot (and its
+        policy cache tokens) must restore cleanly in a fresh interpreter.
+        """
+        serial = run_suite(seed=SEED, count=6, attack_ratio=ATTACK_RATIO)
+        sharded = run_suite_parallel(
+            seed=SEED,
+            count=6,
+            attack_ratio=ATTACK_RATIO,
+            workers=2,
+            mp_context="spawn",
+            persist_failures=False,
+        )
+        assert sharded.mp_start_method == "spawn"
+        assert canonical_spec_json(sharded.parity_dict()) == canonical_spec_json(
+            serial.parity_dict()
+        )
+
+
+class TestVerdictAccounting:
+    """A shard that drops verdicts must fail loudly, never merge short."""
+
+    def _suite(self, indices):
+        suite = SuiteResult(seed=SEED, count=len(indices), models=("escudo",))
+        for index in indices:
+            suite.indices.append(index)
+            suite.verdicts.append(
+                Verdict(scenario=f"s{index}", kind="benign", ok=True, reason="ok")
+            )
+        return suite
+
+    def test_matching_slice_pairs_verdicts_with_global_indices(self):
+        entries = _verdict_entries(0, [4, 5, 6], self._suite([4, 5, 6]))
+        assert [entry["index"] for entry in entries] == [4, 5, 6]
+
+    def test_short_suite_names_shard_and_first_missing_index(self):
+        with pytest.raises(RuntimeError, match=r"shard 3: 2 verdict\(s\) for 3"):
+            _verdict_entries(3, [7, 8, 9], self._suite([7, 8]))
+        with pytest.raises(RuntimeError, match="first unaccounted index is 9"):
+            _verdict_entries(3, [7, 8, 9], self._suite([7, 8]))
+
+    def test_reordered_suite_is_rejected(self):
+        with pytest.raises(RuntimeError, match="shard 1"):
+            _verdict_entries(1, [2, 3], self._suite([3, 2]))
+
+    def test_in_process_shard_mismatch_propagates(self, monkeypatch):
+        """The single-worker path goes through the same loud check."""
+        import repro.scenarios.parallel as parallel_mod
+
+        real_run_suite = parallel_mod.run_suite
+
+        def drop_last(**kwargs):
+            suite = real_run_suite(**kwargs)
+            if suite.verdicts:
+                suite.verdicts.pop()
+                suite.indices.pop()
+            return suite
+
+        monkeypatch.setattr(parallel_mod, "run_suite", drop_last)
+        with pytest.raises(RuntimeError, match=r"shard 0: 2 verdict\(s\) for 3"):
+            run_suite_parallel(
+                seed=SEED, count=3, attack_ratio=0.0, workers=1, persist_failures=False
+            )
+
+
+class TestWarmSnapshot:
+    """The parent's warm state restores byte-compatibly in a fresh runner."""
+
+    def test_round_trip_preserves_entries_and_nonce_secret(self):
+        generator = ScenarioGenerator(seed=SEED, attack_ratio=ATTACK_RATIO)
+        runner = ScenarioRunner()
+        runner.warm_for(generator.apps)
+        snapshot = runner.warm_snapshot()
+        assert isinstance(snapshot, bytes) and snapshot
+
+        restored = ScenarioRunner.from_warm_snapshot(snapshot)
+        assert restored._nonce_secret == runner._nonce_secret
+        layers = restored.caches.as_dict()
+        # The parsed templates travelled; the counters did not (a restored
+        # worker's hit rate must describe its own traffic only).
+        assert layers["templates"]["size"] > 0
+        for layer in ("templates", "scripts", "code", "decisions"):
+            assert layers[layer]["hits"] == 0
+            assert layers[layer]["misses"] == 0
+
+    def test_snapshot_requires_compile_caches(self):
+        runner = ScenarioRunner(compile_caches=False)
+        with pytest.raises(ValueError):
+            runner.warm_snapshot()
 
 
 class TestFailurePersistence:
