@@ -90,8 +90,14 @@ def parse_set_cookie(value: str, origin: Origin) -> Cookie:
     for attr in parts[1:]:
         key, _, raw = attr.partition("=")
         key = key.strip().lower()
-        if key == "path" and raw.strip():
-            path = raw.strip()
+        if key == "path":
+            # RFC 6265 §5.2.4: a path value that is empty or does not start
+            # with "/" is ignored and the default path applies -- treating
+            # any non-empty value as valid would let `Path=foo` cookies
+            # shadow or miss legitimate path scopes.
+            candidate = raw.strip()
+            if candidate.startswith("/"):
+                path = candidate
         elif key == "secure":
             secure = True
         elif key == "httponly":

@@ -111,6 +111,14 @@ def _parse_args(argv) -> argparse.Namespace:
         "must be byte-identical either way)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("dict", "sqlite"),
+        default="dict",
+        help="application storage backend (default: dict; sqlite runs the "
+        "same matrix over the SQL persistence tier -- the report must be "
+        "byte-identical either way)",
+    )
+    parser.add_argument(
         "--bench-out",
         default=DEFAULT_BENCH_OUT,
         help="where suite runs write the throughput JSON "
@@ -135,6 +143,7 @@ def _replay_one(args: argparse.Namespace) -> int:
         models=args.matrix,
         compile_caches=not args.cold,
         script_engine="walker" if args.ast_walker else "vm",
+        storage=args.backend,
     )
     runs = runner.run(scenario)
     verdict = DifferentialOracle().classify(scenario, runs)
@@ -166,6 +175,7 @@ def main(argv=None) -> int:
         persist_failures=not args.no_corpus,
         compile_caches=not args.cold,
         script_engine="walker" if args.ast_walker else "vm",
+        storage=args.backend,
         steal_chunk=args.steal_chunk or None,
         warm_ship=not args.no_warm_ship,
     )

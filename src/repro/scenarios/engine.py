@@ -170,6 +170,7 @@ def run_suite(
     indices=None,
     compile_caches: bool = True,
     script_engine: str = "vm",
+    storage: str = "dict",
 ) -> SuiteResult:
     """Generate and differentially check ``count`` scenarios.
 
@@ -178,12 +179,17 @@ def run_suite(
     through this very loop, so the serial and parallel engines share one
     generate -> run -> classify -> aggregate code path.  ``compile_caches``
     controls the default runner's warm compile-cache stack and
-    ``script_engine`` its execution engine (``"vm"`` or ``"walker"``); both
-    are ignored when an explicit ``runner`` is passed.
+    ``script_engine`` its execution engine (``"vm"`` or ``"walker"``) and
+    ``storage`` the application persistence backend (``"dict"`` or
+    ``"sqlite"``); all three are ignored when an explicit ``runner`` is
+    passed.
     """
     generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
     runner = runner or ScenarioRunner(
-        models=models, compile_caches=compile_caches, script_engine=script_engine
+        models=models,
+        compile_caches=compile_caches,
+        script_engine=script_engine,
+        storage=storage,
     )
     oracle = oracle or DifferentialOracle()
     model_names = tuple(spec.name for spec in runner.specs)

@@ -124,11 +124,13 @@ def _build_worker_runner(config: dict) -> ScenarioRunner:
             warm_state,
             models=tuple(config["models"]),
             script_engine=config.get("script_engine", "vm"),
+            storage=config.get("storage", "dict"),
         )
     return ScenarioRunner(
         models=tuple(config["models"]),
         compile_caches=config.get("compile_caches", True),
         script_engine=config.get("script_engine", "vm"),
+        storage=config.get("storage", "dict"),
     )
 
 
@@ -345,6 +347,7 @@ def run_suite_parallel(
     persist_failures: bool = True,
     compile_caches: bool = True,
     script_engine: str = "vm",
+    storage: str = "dict",
     steal_chunk: int | None = None,
     warm_ship: bool = True,
     mp_context: str | None = None,
@@ -381,6 +384,7 @@ def run_suite_parallel(
         "models": model_names,
         "compile_caches": compile_caches,
         "script_engine": script_engine,
+        "storage": storage,
     }
 
     start = time.perf_counter()
@@ -404,6 +408,7 @@ def run_suite_parallel(
                 models=model_names,
                 compile_caches=True,
                 script_engine=script_engine,
+                storage=storage,
             )
             warm_runner.warm_for(generator.apps)
             config["warm_state"] = warm_runner.warm_snapshot()

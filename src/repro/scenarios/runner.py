@@ -111,10 +111,17 @@ class ScenarioRunner:
         *,
         compile_caches: "bool | CompileCaches" = True,
         script_engine: str = "vm",
+        storage: str = "dict",
     ) -> None:
         self.specs = resolve_models(models)
         if script_engine not in ("vm", "walker"):
             raise ValueError(f"unknown script engine {script_engine!r}")
+        if storage not in ("dict", "sqlite") and not storage.startswith("sqlite:"):
+            raise ValueError(f"unknown storage backend {storage!r}")
+        #: Storage backend kind every application in the matrix is built on
+        #: (``dict`` or ``sqlite``).  Verdict-neutral by the differential
+        #: suite: both backends produce byte-identical digests.
+        self.storage = storage
         #: Execution engine for every browser this worker builds: the
         #: bytecode VM by default, or the reference AST walker
         #: (``--ast-walker``) for differential parity runs.
@@ -164,7 +171,12 @@ class ScenarioRunner:
 
     @classmethod
     def from_warm_snapshot(
-        cls, data: bytes, *, models=("escudo", "sop", "none"), script_engine: str = "vm"
+        cls,
+        data: bytes,
+        *,
+        models=("escudo", "sop", "none"),
+        script_engine: str = "vm",
+        storage: str = "dict",
     ) -> "ScenarioRunner":
         """A runner that starts from a shipped warm state instead of cold.
 
@@ -176,7 +188,10 @@ class ScenarioRunner:
         """
         state = load_warm_state(data)
         runner = cls(
-            models=models, compile_caches=state.caches, script_engine=script_engine
+            models=models,
+            compile_caches=state.caches,
+            script_engine=script_engine,
+            storage=storage,
         )
         runner._nonce_secret = state.nonce_secret
         runner._warmed_apps = set(state.warmed_apps)
@@ -191,12 +206,15 @@ class ScenarioRunner:
         top of it.  The seed embeds the runner's random secret so nonce
         sequences stay unpredictable to attack payloads.
         """
-        if self.caches is None:
-            return None
-        return {
-            "nonce_seed": f"scenario:{self._nonce_secret}:{app_key}:{spec.name}",
-            "response_cache": True,
-        }
+        kwargs: dict = {}
+        if self.caches is not None:
+            kwargs["nonce_seed"] = f"scenario:{self._nonce_secret}:{app_key}:{spec.name}"
+            kwargs["response_cache"] = True
+        if self.storage != "dict":
+            # Only forwarded when non-default so externally registered app
+            # factories that predate the storage tier keep working.
+            kwargs["storage"] = self.storage
+        return kwargs or None
 
     def _warm_start(self, app_key: str) -> None:
         """Seed the cache stack from the policy matrix for ``app_key``.

@@ -5,10 +5,24 @@ from .framework import RequestContext, Route, WebApplication
 from .phpbb import PhpBB, ForumState, Post, PrivateMessage, Topic
 from .phpcalendar import CalendarEvent, CalendarState, PhpCalendar
 from .sessions import Session, SessionStore
+from .storage import (
+    BACKEND_KINDS,
+    DictBackend,
+    SqliteBackend,
+    StorageBackend,
+    TableSpec,
+    make_backend,
+)
 from .templates import AcScope, ContentScope, EscudoPageTemplate, ac_scope, render_template
 
 __all__ = [
     "AcScope",
+    "BACKEND_KINDS",
+    "DictBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "TableSpec",
+    "make_backend",
     "Blog",
     "BlogPost",
     "BlogState",

@@ -18,7 +18,6 @@ markup-randomisation nonce.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.core.acl import Acl
@@ -27,9 +26,16 @@ from repro.core.rings import Ring, RingSet
 from repro.http.messages import HttpResponse
 
 from .framework import RequestContext, WebApplication
+from .storage import CONTENT_SCOPE, StorageBackend, TableSpec
 from .templates import EscudoPageTemplate, render_template
 
 SESSION_COOKIE = "blog_session"
+
+#: Storage schema, modeled on the twisted forum's ``posts`` table
+#: (``forum.sql``): articles are top-level entries, comments thread under
+#: them via ``parent_id``.  Separate tables keep each id sequence intact.
+BLOG_POSTS_TABLE = TableSpec("blog_posts", ("post_id", "subject", "body"))
+BLOG_COMMENTS_TABLE = TableSpec("blog_comments", ("comment_id", "parent_id", "author", "body"))
 
 #: Ring assignments for the blog (Figure 3 plus the ad-slot scenario).
 CHROME_RING = 1
@@ -57,20 +63,64 @@ class BlogPost:
     comments: list[Comment] = field(default_factory=list)
 
 
-@dataclass
 class BlogState:
-    """The blog's persistent state."""
+    """The blog's persistent state, viewed over the storage backend.
 
-    posts: list[BlogPost] = field(default_factory=list)
-    post_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
-    comment_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    Articles and comments are materialised from the backend rows and cached
+    per content generation (see :class:`~repro.webapps.phpbb.ForumState`).
+    """
+
+    def __init__(self, storage: StorageBackend) -> None:
+        self._storage = storage
+        for spec in (BLOG_POSTS_TABLE, BLOG_COMMENTS_TABLE):
+            storage.create_table(spec)
+        self._generation: int | None = None
+        self._posts: list[BlogPost] = []
+        self._by_id: dict[int, BlogPost] = {}
+        self._comments_by_id: dict[int, Comment] = {}
+
+    def _materialise(self) -> "BlogState":
+        generation = self._storage.version(CONTENT_SCOPE)
+        if self._generation == generation:
+            return self
+        old_posts, old_comments = self._by_id, self._comments_by_id
+        posts: list[BlogPost] = []
+        by_id: dict[int, BlogPost] = {}
+        for row in self._storage.all("blog_posts"):
+            post = old_posts.get(row["post_id"])
+            if post is None:
+                post = BlogPost(post_id=row["post_id"], title=row["subject"], body=row["body"])
+            else:
+                post.title = row["subject"]
+                post.body = row["body"]
+                post.comments.clear()
+            posts.append(post)
+            by_id[post.post_id] = post
+        comments_by_id: dict[int, Comment] = {}
+        for row in self._storage.all("blog_comments"):
+            comment = old_comments.get(row["comment_id"])
+            if comment is None:
+                comment = Comment(comment_id=row["comment_id"], author=row["author"],
+                                  body=row["body"])
+            else:
+                comment.author = row["author"]
+                comment.body = row["body"]
+            comments_by_id[comment.comment_id] = comment
+            owner = by_id.get(row["parent_id"])
+            if owner is not None:
+                owner.comments.append(comment)
+        self._posts, self._by_id, self._comments_by_id = posts, by_id, comments_by_id
+        self._generation = generation
+        return self
+
+    @property
+    def posts(self) -> list[BlogPost]:
+        """Every article (with its comments), id order."""
+        return self._materialise()._posts
 
     def post(self, post_id: int) -> BlogPost | None:
         """Look up a post by id."""
-        for post in self.posts:
-            if post.post_id == post_id:
-                return post
-        return None
+        return self._materialise()._by_id.get(post_id)
 
 
 #: The ad network's script: legitimate behaviour is to fill its own slot.
@@ -86,10 +136,11 @@ class Blog(WebApplication):
     session_cookie_name = SESSION_COOKIE
 
     def __init__(self, origin: str = "http://blog.example.com", *, ad_script: str | None = None, **kwargs) -> None:
-        self.state = BlogState()
         self.ad_script = ad_script if ad_script is not None else DEFAULT_AD_SCRIPT
         super().__init__(origin, **kwargs)
-        self._seed_content()
+        self.state = BlogState(self.storage)
+        if not self.storage.count("blog_posts"):
+            self._seed_content()
 
     # -- configuration -------------------------------------------------------------------------
 
@@ -116,20 +167,20 @@ class Blog(WebApplication):
 
     def publish(self, title: str, body: str) -> BlogPost:
         """Publish a new article."""
-        post = BlogPost(post_id=next(self.state.post_counter), title=title, body=body)
-        self.state.posts.append(post)
-        self.touch_state()
-        return post
+        post_id = self.storage.insert("blog_posts", {"subject": title, "body": body})
+        return self.state.post(post_id)
 
     def add_comment(self, post_id: int, author: str, body: str) -> Comment | None:
         """Attach a reader comment to an article."""
-        post = self.state.post(post_id)
-        if post is None:
+        if self.state.post(post_id) is None:
             return None
-        comment = Comment(comment_id=next(self.state.comment_counter), author=author, body=body)
-        post.comments.append(comment)
-        self.touch_state()
-        return comment
+        comment_id = self.storage.insert(
+            "blog_comments", {"parent_id": post_id, "author": author, "body": body}
+        )
+        for comment in self.state.post(post_id).comments:
+            if comment.comment_id == comment_id:
+                return comment
+        raise RuntimeError(f"comment {comment_id} vanished after insert")
 
     def snapshot_content(self) -> dict:
         """Articles and their comments (the scenario oracle's view)."""

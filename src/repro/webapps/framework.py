@@ -26,6 +26,7 @@ from repro.core.config import PageConfiguration
 from repro.http.messages import HttpRequest, HttpResponse
 
 from .sessions import Session, SessionStore
+from .storage import CONTENT_SCOPE, StorageBackend, make_backend
 from repro.html.entities import escape_text
 
 
@@ -104,6 +105,7 @@ class WebApplication:
         markup_randomization: bool = True,
         nonce_seed: str | int | None = None,
         response_cache: bool = False,
+        storage: "StorageBackend | str | None" = None,
     ) -> None:
         self.origin = origin
         self.escudo_enabled = escudo_enabled
@@ -118,12 +120,17 @@ class WebApplication:
         self.response_cache_enabled = response_cache and nonce_seed is not None
         self._response_cache: dict[tuple, HttpResponse] = {}
         self._escudo_header_cache: tuple[tuple[str, str], ...] | None = None
-        self.sessions = SessionStore(seed=f"{origin}-sessions")
+        # Storage backend: the in-memory dict tier by default, SQLite (WAL)
+        # via ``storage="sqlite"`` / ``"sqlite:PATH"`` / an instance (so an
+        # application can be attached to a pre-seeded database).  Sessions
+        # and every subclass's content tables live in it.
+        self.storage = make_backend(storage)
+        self.sessions = SessionStore(seed=f"{origin}-sessions", backend=self.storage)
         # State-digest memo: snapshot_state() is canonically re-dumped and
         # hashed by every oracle check, so the digest is cached until the
-        # next state mutation.  Content mutators call touch_state(); session
-        # churn is tracked by the store's own version counter.
-        self._state_generation = 0
+        # next state mutation.  Every content-table write bumps the backend's
+        # content version scope (touch_state() maps onto the same counter);
+        # session churn is tracked by the store's own version counter.
         self._digest_cache: tuple[tuple[int, int], str] | None = None
         self._snapshot_cache: tuple[tuple[int, int], dict] | None = None
         self._routes: list[Route] = []
@@ -165,16 +172,19 @@ class WebApplication:
         if not self.response_cache_enabled or request.method != "GET":
             return self._handle_uncached(request, session)
         # The key is the *resolved* session (an unknown or destroyed cookie
-        # keys like an anonymous request, and a destroyed session can never
-        # alias a live one -- identifiers are never reused), that session's
-        # data version (a handler rendering session data must never see a
-        # pre-write memo), and the content generation.  Other users' logins
-        # and writes touch none of these, so their churn cannot evict
-        # unrelated memos.
+        # keys like an anonymous request), that session's data version (a
+        # handler rendering session data must never see a pre-write memo),
+        # its creation epoch, and the content generation.  The epoch -- the
+        # store version at creation, which session destruction also bumps --
+        # keeps a destroyed-then-recreated session that reuses an identifier
+        # (a reset counter over a shared backend) from ever aliasing its
+        # predecessor's memos.  Other users' logins and writes touch none of
+        # these, so their churn cannot evict unrelated memos.
         key = (
             request.url.path_and_query,
             session.session_id if session is not None else None,
             session.version if session is not None else 0,
+            session.epoch if session is not None else 0,
             self._state_generation,
         )
         cached = self._response_cache.get(key)
@@ -286,16 +296,28 @@ class WebApplication:
         """Application-specific state; subclasses override."""
         return {}
 
+    @property
+    def _state_generation(self) -> int:
+        """The content-version counter (a row version in the SQLite tier).
+
+        Every write to a content table bumps it automatically in the storage
+        backend, so a mutator cannot forget to invalidate the digest and
+        response memos; :meth:`touch_state` advances the same counter for
+        state kept outside the backend.
+        """
+        return self.storage.version(CONTENT_SCOPE)
+
     def touch_state(self) -> None:
         """Note an application-visible state mutation.
 
-        Every mutator of :meth:`snapshot_content`-visible state must call
-        this (the built-in applications do in their post/reply/comment/event
-        helpers); it invalidates the cached :meth:`state_digest`.  Session
-        creation and destruction are tracked separately through the session
-        store's version counter, so login/logout needs no explicit touch.
+        Content-table writes bump the backend's content version on their
+        own; this hook remains for mutators of state held *outside* the
+        storage backend (none of the built-in applications need it any
+        more, but scenario-registered apps may).  Session creation and
+        destruction are tracked separately through the session store's
+        version counter, so login/logout needs no explicit touch.
         """
-        self._state_generation += 1
+        self.storage.bump(CONTENT_SCOPE)
 
     def state_digest(self) -> str:
         """SHA-256 over the canonical JSON encoding of :meth:`snapshot_state`.

@@ -34,7 +34,6 @@ Construction flags mirror the paper's experimental setup:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.core.acl import Acl
@@ -43,6 +42,7 @@ from repro.core.rings import Ring, RingSet
 from repro.http.messages import HttpResponse
 
 from .framework import RequestContext, WebApplication
+from .storage import CONTENT_SCOPE, StorageBackend, TableSpec
 from .templates import EscudoPageTemplate, render_template
 
 #: Ring assignments from Table 3.
@@ -55,6 +55,21 @@ XHR_RING = 1
 #: The two cookies phpBB creates.
 SID_COOKIE = "phpbb2mysql_sid"
 DATA_COOKIE = "phpbb2mysql_data"
+
+#: Storage schema, modeled on the real phpBB tables (the column names come
+#: from ``phpbb_posts.sql``; the miniature keeps the columns its pages
+#: render).  ``phpbb_users`` mirrors the twisted forum's ``users`` table and
+#: exists for bulk seeding -- login itself stays open, as in the paper's
+#: experimental setup.
+TOPICS_TABLE = TableSpec("phpbb_topics", ("topic_id", "topic_title", "topic_poster"))
+POSTS_TABLE = TableSpec(
+    "phpbb_posts", ("post_id", "topic_id", "post_username", "post_subject", "post_text")
+)
+PRIVMSGS_TABLE = TableSpec(
+    "phpbb_privmsgs",
+    ("privmsgs_id", "privmsgs_from", "privmsgs_to", "privmsgs_subject", "privmsgs_text"),
+)
+USERS_TABLE = TableSpec("phpbb_users", ("user_id", "username"))
 
 
 @dataclass
@@ -87,30 +102,92 @@ class PrivateMessage:
     body: str
 
 
-@dataclass
 class ForumState:
-    """The message board's persistent state (inspectable by tests)."""
+    """The message board's persistent state, viewed over the storage backend.
 
-    topics: list[Topic] = field(default_factory=list)
-    private_messages: list[PrivateMessage] = field(default_factory=list)
-    topic_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
-    post_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
-    message_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    Handlers, attacks and tests read the same :class:`Topic`/:class:`Post`/
+    :class:`PrivateMessage` objects as before; they are materialised from
+    the backend rows and cached per content generation, so repeated reads
+    between mutations are as cheap as the old in-memory lists and object
+    identity is stable until the next write.
+    """
+
+    def __init__(self, storage: StorageBackend) -> None:
+        self._storage = storage
+        for spec in (TOPICS_TABLE, POSTS_TABLE, PRIVMSGS_TABLE, USERS_TABLE):
+            storage.create_table(spec)
+        self._generation: int | None = None
+        self._topics: list[Topic] = []
+        self._by_topic_id: dict[int, Topic] = {}
+        self._posts_by_id: dict[int, Post] = {}
+        self._messages: list[PrivateMessage] = []
+
+    def _materialise(self) -> "ForumState":
+        generation = self._storage.version(CONTENT_SCOPE)
+        if self._generation == generation:
+            return self
+        # Reconcile rather than rebuild: objects are reused by id and updated
+        # in place, so references held across mutations (a handler's topic, a
+        # test's post) stay live -- the semantics of the historical in-memory
+        # lists.
+        old_topics, old_posts = self._by_topic_id, self._posts_by_id
+        topics: list[Topic] = []
+        by_topic_id: dict[int, Topic] = {}
+        for row in self._storage.all("phpbb_topics"):
+            topic = old_topics.get(row["topic_id"])
+            if topic is None:
+                topic = Topic(topic_id=row["topic_id"], title=row["topic_title"],
+                              author=row["topic_poster"])
+            else:
+                topic.title = row["topic_title"]
+                topic.author = row["topic_poster"]
+                topic.posts.clear()
+            topics.append(topic)
+            by_topic_id[topic.topic_id] = topic
+        posts_by_id: dict[int, Post] = {}
+        for row in self._storage.all("phpbb_posts"):
+            post = old_posts.get(row["post_id"])
+            if post is None:
+                post = Post(post_id=row["post_id"], author=row["post_username"],
+                            body=row["post_text"])
+            else:
+                post.author = row["post_username"]
+                post.body = row["post_text"]
+            posts_by_id[post.post_id] = post
+            owner = by_topic_id.get(row["topic_id"])
+            if owner is not None:
+                owner.posts.append(post)
+        self._messages = [
+            PrivateMessage(
+                message_id=row["privmsgs_id"],
+                sender=row["privmsgs_from"],
+                recipient=row["privmsgs_to"],
+                subject=row["privmsgs_subject"],
+                body=row["privmsgs_text"],
+            )
+            for row in self._storage.all("phpbb_privmsgs")
+        ]
+        self._topics, self._by_topic_id, self._posts_by_id = topics, by_topic_id, posts_by_id
+        self._generation = generation
+        return self
+
+    @property
+    def topics(self) -> list[Topic]:
+        """Every topic (with its posts), id order."""
+        return self._materialise()._topics
+
+    @property
+    def private_messages(self) -> list[PrivateMessage]:
+        """Every private message, id order."""
+        return self._materialise()._messages
 
     def topic(self, topic_id: int) -> Topic | None:
         """Look up a topic by id."""
-        for topic in self.topics:
-            if topic.topic_id == topic_id:
-                return topic
-        return None
+        return self._materialise()._by_topic_id.get(topic_id)
 
     def post(self, post_id: int) -> Post | None:
         """Look up a post by id across every topic."""
-        for topic in self.topics:
-            for post in topic.posts:
-                if post.post_id == post_id:
-                    return post
-        return None
+        return self._materialise()._posts_by_id.get(post_id)
 
     def messages_for(self, username: str) -> list[PrivateMessage]:
         """Private messages addressed to ``username``."""
@@ -123,9 +200,12 @@ class PhpBB(WebApplication):
     session_cookie_name = SID_COOKIE
 
     def __init__(self, origin: str = "http://forum.example.com", **kwargs) -> None:
-        self.state = ForumState()
         super().__init__(origin, **kwargs)
-        self._seed_content()
+        self.state = ForumState(self.storage)
+        # A pre-seeded backend (the bulk-seed benchmark, a reopened WAL
+        # database) already has content; only a fresh one gets the fixtures.
+        if not self.storage.count("phpbb_topics"):
+            self._seed_content()
 
     # -- configuration --------------------------------------------------------------------
 
@@ -163,34 +243,44 @@ class PhpBB(WebApplication):
 
     def create_topic(self, author: str, title: str, body: str) -> Topic:
         """Create a topic with its opening post."""
-        topic = Topic(topic_id=next(self.state.topic_counter), title=title, author=author)
-        topic.posts.append(Post(post_id=next(self.state.post_counter), author=author, body=body))
-        self.state.topics.append(topic)
-        self.touch_state()
-        return topic
+        topic_id = self.storage.insert(
+            "phpbb_topics", {"topic_title": title, "topic_poster": author}
+        )
+        self.storage.insert(
+            "phpbb_posts",
+            {"topic_id": topic_id, "post_username": author,
+             "post_subject": title, "post_text": body},
+        )
+        return self.state.topic(topic_id)
 
     def add_reply(self, topic_id: int, author: str, body: str) -> Post | None:
         """Append a reply to a topic."""
-        topic = self.state.topic(topic_id)
-        if topic is None:
+        if self.state.topic(topic_id) is None:
             return None
-        post = Post(post_id=next(self.state.post_counter), author=author, body=body)
-        topic.posts.append(post)
-        self.touch_state()
-        return post
+        post_id = self.storage.insert(
+            "phpbb_posts",
+            {"topic_id": topic_id, "post_username": author,
+             "post_subject": "", "post_text": body},
+        )
+        return self.state.post(post_id)
+
+    def edit_post(self, post_id: int, body: str) -> Post | None:
+        """Rewrite a post's body (authorisation is the route handler's job)."""
+        if not self.storage.update("phpbb_posts", post_id, post_text=body):
+            return None
+        return self.state.post(post_id)
 
     def send_private_message(self, sender: str, recipient: str, subject: str, body: str) -> PrivateMessage:
         """Store a private message."""
-        message = PrivateMessage(
-            message_id=next(self.state.message_counter),
-            sender=sender,
-            recipient=recipient,
-            subject=subject,
-            body=body,
+        message_id = self.storage.insert(
+            "phpbb_privmsgs",
+            {"privmsgs_from": sender, "privmsgs_to": recipient,
+             "privmsgs_subject": subject, "privmsgs_text": body},
         )
-        self.state.private_messages.append(message)
-        self.touch_state()
-        return message
+        for message in self.state.private_messages:
+            if message.message_id == message_id:
+                return message
+        raise RuntimeError(f"private message {message_id} vanished after insert")
 
     def snapshot_content(self) -> dict:
         """Topics, posts and private messages (the scenario oracle's view)."""
@@ -409,8 +499,7 @@ class PhpBB(WebApplication):
             return HttpResponse.not_found("no such post")
         if post.author != (context.username or ""):
             return HttpResponse.forbidden("only the author may edit a post")
-        post.body = context.param("message", post.body)
-        self.touch_state()
+        self.edit_post(post_id, context.param("message", post.body))
         return HttpResponse.redirect("/")
 
     def do_send_message(self, context: RequestContext) -> HttpResponse:

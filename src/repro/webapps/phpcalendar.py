@@ -24,8 +24,7 @@ the session cookie (ring 1) or the XHR API (ring 1).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.acl import Acl
 from repro.core.config import PageConfiguration, ResourcePolicy
@@ -33,6 +32,7 @@ from repro.core.rings import Ring, RingSet
 from repro.http.messages import HttpResponse
 
 from .framework import RequestContext, WebApplication
+from .storage import CONTENT_SCOPE, StorageBackend, TableSpec
 from .templates import EscudoPageTemplate, render_template
 
 #: Ring assignments from Table 5.
@@ -43,6 +43,12 @@ COOKIE_RING = 1
 XHR_RING = 1
 
 SESSION_COOKIE = "phpc_session"
+
+#: Storage schema, modeled on PHP-Calendar's events table (threaded like
+#: the twisted forum's ``posts`` table: one row per user-authored entry).
+EVENTS_TABLE = TableSpec(
+    "phpc_events", ("event_id", "event_date", "event_title", "event_description", "event_author")
+)
 
 
 @dataclass
@@ -56,19 +62,56 @@ class CalendarEvent:
     author: str
 
 
-@dataclass
 class CalendarState:
-    """The calendar's persistent state (inspectable by tests)."""
+    """The calendar's persistent state, viewed over the storage backend.
 
-    events: list[CalendarEvent] = field(default_factory=list)
-    counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    Event objects are materialised from the backend rows and cached per
+    content generation (see :class:`~repro.webapps.phpbb.ForumState`).
+    """
+
+    def __init__(self, storage: StorageBackend) -> None:
+        self._storage = storage
+        storage.create_table(EVENTS_TABLE)
+        self._generation: int | None = None
+        self._events: list[CalendarEvent] = []
+        self._by_id: dict[int, CalendarEvent] = {}
+
+    def _materialise(self) -> "CalendarState":
+        generation = self._storage.version(CONTENT_SCOPE)
+        if self._generation == generation:
+            return self
+        old = self._by_id
+        events: list[CalendarEvent] = []
+        by_id: dict[int, CalendarEvent] = {}
+        for row in self._storage.all("phpc_events"):
+            event = old.get(row["event_id"])
+            if event is None:
+                event = CalendarEvent(
+                    event_id=row["event_id"],
+                    date=row["event_date"],
+                    title=row["event_title"],
+                    description=row["event_description"],
+                    author=row["event_author"],
+                )
+            else:
+                event.date = row["event_date"]
+                event.title = row["event_title"]
+                event.description = row["event_description"]
+                event.author = row["event_author"]
+            events.append(event)
+            by_id[event.event_id] = event
+        self._events, self._by_id = events, by_id
+        self._generation = generation
+        return self
+
+    @property
+    def events(self) -> list[CalendarEvent]:
+        """Every event, id order."""
+        return self._materialise()._events
 
     def event(self, event_id: int) -> CalendarEvent | None:
         """Look up an event by id."""
-        for event in self.events:
-            if event.event_id == event_id:
-                return event
-        return None
+        return self._materialise()._by_id.get(event_id)
 
     def events_in_month(self, month: str) -> list[CalendarEvent]:
         """Events whose date starts with ``month`` ("YYYY-MM")."""
@@ -81,9 +124,10 @@ class PhpCalendar(WebApplication):
     session_cookie_name = SESSION_COOKIE
 
     def __init__(self, origin: str = "http://calendar.example.com", **kwargs) -> None:
-        self.state = CalendarState()
         super().__init__(origin, **kwargs)
-        self._seed_content()
+        self.state = CalendarState(self.storage)
+        if not self.storage.count("phpc_events"):
+            self._seed_content()
 
     # -- configuration -----------------------------------------------------------------------
 
@@ -117,16 +161,12 @@ class PhpCalendar(WebApplication):
 
     def create_event(self, author: str, date: str, title: str, description: str) -> CalendarEvent:
         """Add an event to the calendar."""
-        event = CalendarEvent(
-            event_id=next(self.state.counter),
-            date=date,
-            title=title,
-            description=description,
-            author=author,
+        event_id = self.storage.insert(
+            "phpc_events",
+            {"event_date": date, "event_title": title,
+             "event_description": description, "event_author": author},
         )
-        self.state.events.append(event)
-        self.touch_state()
-        return event
+        return self.state.event(event_id)
 
     def snapshot_content(self) -> dict:
         """Every calendar event (the scenario oracle's view)."""
@@ -286,10 +326,10 @@ class PhpCalendar(WebApplication):
             return HttpResponse.not_found("no such event")
         if event.author != (context.username or ""):
             return HttpResponse.forbidden("only the author may edit an event")
-        event.description = context.param("description", event.description)
+        fields = {"event_description": context.param("description", event.description)}
         if context.param("title"):
-            event.title = context.param("title")
-        self.touch_state()
+            fields["event_title"] = context.param("title")
+        self.storage.update("phpc_events", event_id, **fields)
         return HttpResponse.redirect(f"/view?id={event_id}")
 
     def do_delete(self, context: RequestContext) -> HttpResponse:
@@ -303,6 +343,5 @@ class PhpCalendar(WebApplication):
             return HttpResponse.not_found("no such event")
         if event.author != (context.username or ""):
             return HttpResponse.forbidden("only the author may delete an event")
-        self.state.events.remove(event)
-        self.touch_state()
+        self.storage.delete("phpc_events", event_id)
         return HttpResponse.redirect("/")

@@ -1,0 +1,411 @@
+"""Storage backends behind the web framework.
+
+The case-study applications held all of their state in Python dicts, which
+caps realistic scale (the ROADMAP's "millions of users" target was
+unmeasurable) and hides the invalidation machinery inside each app.  This
+module introduces the persistence tier both the dict world and a real
+database share:
+
+* :class:`StorageBackend` -- the interface: named tables of integer-keyed
+  rows, batched inserts for bulk seeding, and **version scopes** (the row-
+  version counters the framework's state-digest and GET-response memos key
+  on).  Every write bumps its table's scope, so a mutator can no longer
+  forget to invalidate -- the storage layer owns invalidation.
+* :class:`DictBackend` -- the in-memory implementation (the default; byte-
+  identical behaviour to the historical dict state).
+* :class:`SqliteBackend` -- SQLite, WAL mode when file-backed.  Table
+  shapes are declared by the applications via :class:`TableSpec` and are
+  modeled on the real schemas: phpBB's ``phpbb_posts`` table
+  (``fleimgruber/gargbot_3000/schema/phpbb_posts.sql``) and the twisted
+  forum's ``posts``/``users`` tables (``Almad/twisted/twisted/forum/
+  forum.sql``).
+
+Parity contract: both backends implement identical semantics -- auto-
+increment ids that are never reused (phpBB's ``AUTO_INCREMENT``; the
+SQLite side uses ``AUTOINCREMENT`` so ids survive deletes and reopens),
+rows returned in primary-key order, and the same version-scope counters --
+so an application's :meth:`~repro.webapps.framework.WebApplication.
+state_digest` is byte-identical on either backend.  The differential suite
+in ``tests/scenarios/test_storage_backends.py`` locks this in across the
+seeded scenario matrix.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+#: Version scope fed by content-table writes (topics, posts, events...).
+#: The framework's ``_state_generation`` reads this scope.
+CONTENT_SCOPE = "content"
+
+#: Version scope fed by session-table writes (create/destroy/data writes).
+#: ``SessionStore.version`` reads this scope.
+SESSION_SCOPE = "sessions"
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declared shape of one logical table.
+
+    ``columns`` lists every column, the integer primary key first; ``scope``
+    names the version counter writes to this table bump.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    scope: str = CONTENT_SCOPE
+
+    @property
+    def id_column(self) -> str:
+        return self.columns[0]
+
+    @property
+    def value_columns(self) -> tuple[str, ...]:
+        return self.columns[1:]
+
+
+class StorageBackend:
+    """Interface shared by the dict and SQLite backends.
+
+    Rows are plain ``dict``s of column name to ``str``/``int``/``float``/
+    ``None`` values (callers JSON-encode anything richer, as the session
+    store does for its data blob).  Reads return copies -- mutating a
+    returned row never changes stored state.
+    """
+
+    #: Short name used in CLI flags, benchmarks and reports.
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self._specs: dict[str, TableSpec] = {}
+
+    # -- schema -----------------------------------------------------------------
+
+    def create_table(self, spec: TableSpec) -> None:
+        """Register ``spec`` and create its table if it does not exist."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing != spec:
+                raise ValueError(f"table {spec.name!r} already declared with a different shape")
+            return
+        self._specs[spec.name] = spec
+        self._ensure_table(spec)
+
+    def spec(self, table: str) -> TableSpec:
+        spec = self._specs.get(table)
+        if spec is None:
+            raise KeyError(f"unknown table {table!r}; declared: {sorted(self._specs)}")
+        return spec
+
+    # -- required primitives ------------------------------------------------------
+
+    def _ensure_table(self, spec: TableSpec) -> None:
+        raise NotImplementedError
+
+    def insert(self, table: str, row: dict) -> int:
+        """Insert one row, returning its assigned id (bumps the scope).
+
+        An explicit id may be supplied in ``row``; omitted ids are assigned
+        by a monotonic, never-reused auto-increment counter.
+        """
+        raise NotImplementedError
+
+    def insert_many(self, table: str, rows) -> int:
+        """Batched insert for bulk seeding: one scope bump for all rows."""
+        raise NotImplementedError
+
+    def get(self, table: str, row_id: int) -> dict | None:
+        raise NotImplementedError
+
+    def all(self, table: str) -> list[dict]:
+        """Every row, in primary-key order."""
+        raise NotImplementedError
+
+    def select(self, table: str, **equals) -> list[dict]:
+        """Rows matching every ``column=value`` filter, primary-key order."""
+        raise NotImplementedError
+
+    def update(self, table: str, row_id: int, **fields) -> bool:
+        """Update columns of one row; True (and a scope bump) if it existed."""
+        raise NotImplementedError
+
+    def delete(self, table: str, row_id: int) -> bool:
+        """Delete one row; True (and a scope bump) if it existed."""
+        raise NotImplementedError
+
+    def count(self, table: str) -> int:
+        raise NotImplementedError
+
+    def version(self, scope: str) -> int:
+        """Current value of a version-scope counter (0 before any write)."""
+        raise NotImplementedError
+
+    def bump(self, scope: str) -> int:
+        """Manually advance a version scope (``touch_state()`` maps here)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op for the dict backend)."""
+
+
+class DictBackend(StorageBackend):
+    """The in-memory backend: tables are dicts of row dicts.
+
+    Insertion order equals primary-key order (ids are monotonic), so
+    :meth:`all` is a plain iteration.
+    """
+
+    kind = "dict"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: dict[str, dict[int, dict]] = {}
+        #: Monotonic next-id per table -- never reused, even after deletes,
+        #: matching SQLite ``AUTOINCREMENT`` (and the historical counters).
+        self._next_id: dict[str, int] = {}
+        self._versions: dict[str, int] = {}
+
+    def _ensure_table(self, spec: TableSpec) -> None:
+        self._tables[spec.name] = {}
+        self._next_id[spec.name] = 1
+
+    def _store_row(self, spec: TableSpec, row: dict) -> int:
+        row_id = row.get(spec.id_column)
+        if row_id is None:
+            row_id = self._next_id[spec.name]
+        row_id = int(row_id)
+        self._next_id[spec.name] = max(self._next_id[spec.name], row_id + 1)
+        stored = {spec.id_column: row_id}
+        for column in spec.value_columns:
+            stored[column] = row.get(column)
+        self._tables[spec.name][row_id] = stored
+        return row_id
+
+    def insert(self, table: str, row: dict) -> int:
+        spec = self.spec(table)
+        row_id = self._store_row(spec, row)
+        self.bump(spec.scope)
+        return row_id
+
+    def insert_many(self, table: str, rows) -> int:
+        spec = self.spec(table)
+        inserted = 0
+        for row in rows:
+            self._store_row(spec, row)
+            inserted += 1
+        if inserted:
+            self.bump(spec.scope)
+        return inserted
+
+    def get(self, table: str, row_id: int) -> dict | None:
+        row = self._tables[self.spec(table).name].get(row_id)
+        return dict(row) if row is not None else None
+
+    def all(self, table: str) -> list[dict]:
+        return [dict(row) for row in self._tables[self.spec(table).name].values()]
+
+    def select(self, table: str, **equals) -> list[dict]:
+        rows = self._tables[self.spec(table).name].values()
+        return [
+            dict(row)
+            for row in rows
+            if all(row.get(column) == value for column, value in equals.items())
+        ]
+
+    def update(self, table: str, row_id: int, **fields) -> bool:
+        spec = self.spec(table)
+        row = self._tables[spec.name].get(row_id)
+        if row is None:
+            return False
+        for column, value in fields.items():
+            if column not in spec.columns:
+                raise KeyError(f"unknown column {column!r} in table {table!r}")
+            row[column] = value
+        self.bump(spec.scope)
+        return True
+
+    def delete(self, table: str, row_id: int) -> bool:
+        spec = self.spec(table)
+        if self._tables[spec.name].pop(row_id, None) is None:
+            return False
+        self.bump(spec.scope)
+        return True
+
+    def count(self, table: str) -> int:
+        return len(self._tables[self.spec(table).name])
+
+    def version(self, scope: str) -> int:
+        return self._versions.get(scope, 0)
+
+    def bump(self, scope: str) -> int:
+        value = self._versions.get(scope, 0) + 1
+        self._versions[scope] = value
+        return value
+
+
+class SqliteBackend(StorageBackend):
+    """SQLite-backed storage (WAL journal mode when file-backed).
+
+    One connection per backend instance, owned exclusively by its
+    application -- version counters are therefore mirrored in memory and
+    written through, so the hot-path reads (`state_digest` tokens, GET memo
+    keys) never touch the database.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str | None = None) -> None:
+        super().__init__()
+        self.path = path or ":memory:"
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        if path:
+            # WAL only applies to file databases (the pragma is a no-op on
+            # :memory:); NORMAL sync is the standard WAL pairing.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS row_versions (scope TEXT PRIMARY KEY, version INTEGER NOT NULL)"
+        )
+        self._conn.commit()
+        self._versions: dict[str, int] = {
+            row["scope"]: row["version"]
+            for row in self._conn.execute("SELECT scope, version FROM row_versions")
+        }
+
+    def _ensure_table(self, spec: TableSpec) -> None:
+        columns = ", ".join(
+            [f"{spec.id_column} INTEGER PRIMARY KEY AUTOINCREMENT"]
+            + [f'"{column}"' for column in spec.value_columns]
+        )
+        self._conn.execute(f"CREATE TABLE IF NOT EXISTS {spec.name} ({columns})")
+        self._conn.commit()
+
+    def _insert_sql(self, spec: TableSpec, with_id: bool) -> tuple[str, tuple[str, ...]]:
+        columns = spec.columns if with_id else spec.value_columns
+        placeholders = ", ".join("?" for _ in columns)
+        quoted = ", ".join(f'"{column}"' for column in columns)
+        return f"INSERT INTO {spec.name} ({quoted}) VALUES ({placeholders})", columns
+
+    def insert(self, table: str, row: dict) -> int:
+        spec = self.spec(table)
+        sql, columns = self._insert_sql(spec, spec.id_column in row and row[spec.id_column] is not None)
+        cursor = self._conn.execute(sql, tuple(row.get(column) for column in columns))
+        self._conn.commit()
+        self.bump(spec.scope)
+        return int(cursor.lastrowid)
+
+    def insert_many(self, table: str, rows) -> int:
+        spec = self.spec(table)
+        rows = list(rows)
+        if not rows:
+            return 0
+        with_id = spec.id_column in rows[0] and rows[0][spec.id_column] is not None
+        sql, columns = self._insert_sql(spec, with_id)
+        self._conn.executemany(
+            sql, (tuple(row.get(column) for column in columns) for row in rows)
+        )
+        self._conn.commit()
+        self.bump(spec.scope)
+        return len(rows)
+
+    def get(self, table: str, row_id: int) -> dict | None:
+        spec = self.spec(table)
+        row = self._conn.execute(
+            f"SELECT * FROM {spec.name} WHERE {spec.id_column} = ?", (row_id,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    def all(self, table: str) -> list[dict]:
+        spec = self.spec(table)
+        rows = self._conn.execute(
+            f"SELECT * FROM {spec.name} ORDER BY {spec.id_column}"
+        )
+        return [dict(row) for row in rows]
+
+    def select(self, table: str, **equals) -> list[dict]:
+        spec = self.spec(table)
+        for column in equals:
+            if column not in spec.columns:
+                raise KeyError(f"unknown column {column!r} in table {table!r}")
+        where = " AND ".join(f'"{column}" = ?' for column in equals) or "1=1"
+        rows = self._conn.execute(
+            f"SELECT * FROM {spec.name} WHERE {where} ORDER BY {spec.id_column}",
+            tuple(equals.values()),
+        )
+        return [dict(row) for row in rows]
+
+    def update(self, table: str, row_id: int, **fields) -> bool:
+        spec = self.spec(table)
+        for column in fields:
+            if column not in spec.columns:
+                raise KeyError(f"unknown column {column!r} in table {table!r}")
+        assignments = ", ".join(f'"{column}" = ?' for column in fields)
+        cursor = self._conn.execute(
+            f"UPDATE {spec.name} SET {assignments} WHERE {spec.id_column} = ?",
+            (*fields.values(), row_id),
+        )
+        self._conn.commit()
+        if cursor.rowcount <= 0:
+            return False
+        self.bump(spec.scope)
+        return True
+
+    def delete(self, table: str, row_id: int) -> bool:
+        spec = self.spec(table)
+        cursor = self._conn.execute(
+            f"DELETE FROM {spec.name} WHERE {spec.id_column} = ?", (row_id,)
+        )
+        self._conn.commit()
+        if cursor.rowcount <= 0:
+            return False
+        self.bump(spec.scope)
+        return True
+
+    def count(self, table: str) -> int:
+        spec = self.spec(table)
+        return self._conn.execute(f"SELECT COUNT(*) FROM {spec.name}").fetchone()[0]
+
+    def version(self, scope: str) -> int:
+        return self._versions.get(scope, 0)
+
+    def bump(self, scope: str) -> int:
+        value = self._versions.get(scope, 0) + 1
+        self._versions[scope] = value
+        self._conn.execute(
+            "INSERT INTO row_versions (scope, version) VALUES (?, ?) "
+            "ON CONFLICT(scope) DO UPDATE SET version = excluded.version",
+            (scope, value),
+        )
+        self._conn.commit()
+        return value
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+#: Backend kinds accepted by :func:`make_backend` (and the CLI's --backend).
+BACKEND_KINDS = ("dict", "sqlite")
+
+
+def make_backend(storage: "StorageBackend | str | None") -> StorageBackend:
+    """Resolve a backend selector into an instance.
+
+    ``None``/``"dict"`` build the in-memory default; ``"sqlite"`` an
+    in-memory SQLite database; ``"sqlite:PATH"`` a file-backed (WAL)
+    database at ``PATH``.  An existing instance passes through, so an
+    application can be attached to a pre-seeded database.
+    """
+    if isinstance(storage, StorageBackend):
+        return storage
+    if storage is None or storage == "dict":
+        return DictBackend()
+    if storage == "sqlite":
+        return SqliteBackend()
+    if isinstance(storage, str) and storage.startswith("sqlite:"):
+        return SqliteBackend(storage.partition(":")[2] or None)
+    raise ValueError(
+        f"unknown storage backend {storage!r}; expected one of {BACKEND_KINDS} "
+        "(or 'sqlite:PATH' for a file-backed database)"
+    )

@@ -79,6 +79,32 @@ class TestSetCookieParsing:
         cookie = parse_set_cookie("sid=1", FORUM)
         assert cookie.ring == Ring(0)
 
+    def test_path_without_leading_slash_falls_back_to_default(self):
+        # RFC 6265 §5.2.4: a path value not starting with "/" is ignored.
+        cookie = parse_set_cookie("sid=1; Path=app", FORUM)
+        assert cookie.path == "/"
+        assert cookie.matches_path("/anything")
+
+    def test_empty_path_falls_back_to_default(self):
+        assert parse_set_cookie("sid=1; Path=", FORUM).path == "/"
+        assert parse_set_cookie("sid=1; Path=   ", FORUM).path == "/"
+
+    def test_bare_path_attribute_falls_back_to_default(self):
+        assert parse_set_cookie("sid=1; Path", FORUM).path == "/"
+
+    def test_relative_path_does_not_shadow_a_scope(self):
+        # A `Path=admin` cookie must behave like a default-path cookie, not
+        # silently vanish from every request (nor match only "/admin").
+        cookie = parse_set_cookie("evil=x; Path=admin", FORUM)
+        assert cookie.matches_path("/")
+        assert cookie.matches_path("/admin")
+
+    def test_valid_path_with_trailing_slash_is_kept(self):
+        cookie = parse_set_cookie("sid=1; Path=/app/", FORUM)
+        assert cookie.path == "/app/"
+        assert cookie.matches_path("/app/page")
+        assert not cookie.matches_path("/application")
+
     def test_format_cookie_header(self):
         cookies = [Cookie(name="a", value="1", origin=FORUM), Cookie(name="b", value="2", origin=FORUM)]
         assert format_cookie_header(cookies) == "a=1; b=2"
