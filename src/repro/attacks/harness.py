@@ -198,6 +198,7 @@ def build_environment(
     app_kwargs: dict | None = None,
     caches=None,
     script_engine: str = "vm",
+    static_screen=None,
 ) -> AttackEnvironment:
     """Create a fresh network, application, attacker site and victim browser.
 
@@ -207,13 +208,22 @@ def build_environment(
     environment itself -- application state, network, cookie jars -- stays
     share-nothing either way.  ``script_engine`` selects the bytecode VM
     (default) or the reference AST walker for the victim browser.
+    ``static_screen`` attaches a soundness screen
+    (:class:`~repro.analysis.soundness.StaticScreen`) to the victim browser
+    so every mediation decision is attributed to its causing script.
     """
     app = make_application(app_key, escudo_enabled=escudo_app, **(app_kwargs or {}))
     attacker = AttackerSite()
     network = Network()
     network.register(app.origin, app)
     network.register(attacker.origin, attacker)
-    browser = Browser(network, model=model, caches=caches, script_engine=script_engine)
+    browser = Browser(
+        network,
+        model=model,
+        caches=caches,
+        script_engine=script_engine,
+        static_screen=static_screen,
+    )
     return AttackEnvironment(model=model, network=network, app=app, attacker=attacker, browser=browser)
 
 

@@ -74,6 +74,7 @@ class Browser:
         interleave_seed: int | None = None,
         caches: CompileCaches | None = None,
         script_engine: str = "vm",
+        static_screen=None,
     ) -> None:
         if model not in ("escudo", "sop", "same-origin"):
             raise ValueError(f"unknown protection model {model!r}")
@@ -99,6 +100,11 @@ class Browser:
         # "vm" (bytecode + inline caches, default) or "walker" (reference
         # AST interpreter, selectable for differential parity runs).
         self.script_engine = script_engine
+        # Optional StaticScreen (repro.analysis.soundness): every loaded
+        # page's monitor reports its decisions to the screen, and every
+        # executed script is statically analyzed, so the soundness oracle
+        # can compare predictions against the live audit stream.
+        self.static_screen = static_screen
         self.cookie_jar = CookieJar()
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
@@ -148,6 +154,8 @@ class Browser:
         )
         self.history.record_visit(final_url, title=_page_title(page))
 
+        if self.static_screen is not None:
+            page.monitor.observer = self.static_screen.record
         runtime = ScriptRuntime(
             self,
             page,
@@ -155,6 +163,7 @@ class Browser:
             ast_cache=self.caches.scripts if self.caches is not None else None,
             code_cache=self.caches.code if self.caches is not None else None,
             engine=self.script_engine,
+            screen=self.static_screen,
         )
         events = UiEventLayer(page, runtime)
         loaded = LoadedPage(page=page, runtime=runtime, events=events, response=response)

@@ -57,7 +57,7 @@ from repro.core.policy import reserve_policy_tokens
 from repro.dom.document import Document
 from repro.html.parser import TreeBuilder
 from repro.html.tokenizer import tokenize
-from repro.scripting.cache import ScriptAstCache, ScriptCodeCache
+from repro.scripting.cache import ScriptAstCache, ScriptCodeCache, ScriptReportCache
 
 from .labeler import LabelingStats, PageLabeler, document_uses_escudo
 from .renderer import Renderer, RenderStats
@@ -277,6 +277,10 @@ class CompileCaches:
     #: Compiled-bytecode tier below the AST cache (used by the VM engine);
     #: a warm source goes digest -> CodeObject with no front end at all.
     code: ScriptCodeCache = field(default_factory=ScriptCodeCache)
+    #: Static-analysis tier: memoised ScriptReports keyed by the same source
+    #: digest.  Reports are frozen dataclasses of plain values, so this tier
+    #: ships in warm-state snapshots exactly like the others.
+    reports: ScriptReportCache = field(default_factory=ScriptReportCache)
 
     def policy_for(self, options) -> object:
         """The stack's shared policy instance for ``options.model``."""
@@ -293,16 +297,19 @@ class CompileCaches:
         template_size: int = DEFAULT_TEMPLATE_CACHE_SIZE,
         ast_size: int | None = None,
         code_size: int | None = None,
+        report_size: int | None = None,
         decision_size: int = DEFAULT_SHARED_DECISION_CACHE_SIZE,
     ) -> "CompileCaches":
         """A fresh stack with the default (or overridden) capacities."""
         scripts = ScriptAstCache(ast_size) if ast_size is not None else ScriptAstCache()
         code = ScriptCodeCache(code_size) if code_size is not None else ScriptCodeCache()
+        reports = ScriptReportCache(report_size) if report_size is not None else ScriptReportCache()
         return cls(
             templates=TemplateCache(template_size),
             scripts=scripts,
             decisions=DecisionCache(decision_size),
             code=code,
+            reports=reports,
         )
 
     def reset_counters(self) -> None:
@@ -315,6 +322,7 @@ class CompileCaches:
         self.templates.reset_counters()
         self.scripts.reset_counters()
         self.code.reset_counters()
+        self.reports.reset_counters()
         self.decisions.reset_counters()
 
     def as_dict(self) -> dict[str, object]:
@@ -323,6 +331,7 @@ class CompileCaches:
             "templates": self.templates.as_dict(),
             "scripts": self.scripts.as_dict(),
             "code": self.code.as_dict(),
+            "reports": self.reports.as_dict(),
             "decisions": self.decisions.info().as_dict(),
         }
 

@@ -24,6 +24,7 @@ heart of the ESCUDO model.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -371,6 +372,11 @@ class _PrincipalEnvironment:
         #: clearTimeout may cancel (cross-principal cancellation would be an
         #: unmediated interference channel).
         self.own_timers: set[int] = set()
+        #: Digest of the source this environment executes; set by the
+        #: runtime's entry points when a static screen is attached so every
+        #: monitor decision -- including ones from deferred timers,
+        #: listeners and async XHR completions -- lands on the right script.
+        self.digest: str | None = None
         self._install_globals()
 
     # -- environment ------------------------------------------------------------------
@@ -388,11 +394,26 @@ class _PrincipalEnvironment:
             "XMLHttpRequest",
             NativeConstructor(
                 lambda *args: XmlHttpRequest(
-                    self.runtime.browser, self.page, self.principal, invoke=self.invoke
+                    self.runtime.browser,
+                    self.page,
+                    self.principal,
+                    invoke=self.invoke,
+                    scope=self.mediation_scope,
                 ),
                 "XMLHttpRequest",
             ),
         )
+
+    def mediation_scope(self):
+        """Context manager attributing monitor decisions to this script.
+
+        Returns a no-op when no static screen is attached, so the unscreened
+        hot path stays allocation-free apart from one ``nullcontext``.
+        """
+        screen = self.runtime.screen
+        if screen is None or self.digest is None:
+            return nullcontext()
+        return screen.attribute(self.digest)
 
     # -- cookies -----------------------------------------------------------------------
 
@@ -443,9 +464,16 @@ class _PrincipalEnvironment:
         )
 
     def invoke(self, callback, args: list):
-        """Invoke a script function (or native callable) in this environment."""
+        """Invoke a script function (or native callable) in this environment.
+
+        Runs inside :meth:`mediation_scope` because this is how *deferred*
+        work re-enters the engine -- timer callbacks, event listeners and
+        XHR completion handlers all fire through here, long after the
+        originating script's top-level execution returned.
+        """
         try:
-            return self.interpreter.call_function(callback, args)
+            with self.mediation_scope():
+                return self.interpreter.call_function(callback, args)
         except Exception as error:  # noqa: BLE001 - script faults must not kill the browser
             self.runtime.observations.console.append(f"[script error] {error}")
             return None
@@ -463,6 +491,7 @@ class ScriptRuntime:
         ast_cache: ScriptAstCache | None = None,
         code_cache: ScriptCodeCache | None = None,
         engine: str = "vm",
+        screen=None,
     ) -> None:
         if engine not in ("vm", "walker"):
             raise ValueError(f"unknown script engine {engine!r} (expected 'vm' or 'walker')")
@@ -479,6 +508,10 @@ class ScriptRuntime:
         #: ``"vm"`` (bytecode, default) or ``"walker"`` (the reference AST
         #: interpreter, kept selectable for differential parity runs).
         self.engine = engine
+        #: Optional :class:`~repro.analysis.soundness.StaticScreen` -- when
+        #: set, every executed source is statically analyzed (memoised) and
+        #: every monitor decision is attributed to the causing script.
+        self.screen = screen
         self.observations = RuntimeObservations()
         # Resolved once per runtime: every principal's DOM facade shares the
         # same API object context, and building it per script execution costs
@@ -503,7 +536,9 @@ class ScriptRuntime:
     def execute(self, source: str, principal: SecurityContext, *, description: str = "inline script") -> ScriptRun:
         """Execute one script under ``principal`` and record the run."""
         environment = _PrincipalEnvironment(self, principal)
-        result = self._run_source(environment.interpreter, source)
+        self._screen_source(environment, source)
+        with environment.mediation_scope():
+            result = self._run_source(environment.interpreter, source)
         run = ScriptRun(description=description, principal=principal, result=result)
         self.page.script_runs.append(run)
         return run
@@ -513,10 +548,19 @@ class ScriptRuntime:
         """Execute an inline event handler with ``event`` bound."""
         environment = _PrincipalEnvironment(self, principal)
         environment.interpreter.globals.define("event", event_payload)
-        result = self._run_source(environment.interpreter, source)
+        self._screen_source(environment, source)
+        with environment.mediation_scope():
+            result = self._run_source(environment.interpreter, source)
         run = ScriptRun(description=description, principal=principal, result=result)
         self.page.script_runs.append(run)
         return run
+
+    def _screen_source(self, environment: "_PrincipalEnvironment", source: str) -> None:
+        """Analyze ``source`` (memoised) and bind its digest for attribution."""
+        if self.screen is None:
+            return
+        parse = self.ast_cache.parse if self.ast_cache is not None else None
+        environment.digest = self.screen.observe_script(source, parse=parse)
 
     # -- helpers --------------------------------------------------------------------------------
 

@@ -112,6 +112,7 @@ class ScenarioRunner:
         compile_caches: "bool | CompileCaches" = True,
         script_engine: str = "vm",
         storage: str = "dict",
+        static_screen: bool = False,
     ) -> None:
         self.specs = resolve_models(models)
         if script_engine not in ("vm", "walker"):
@@ -132,6 +133,18 @@ class ScenarioRunner:
             self.caches = None
         else:
             self.caches = compile_caches
+        #: Optional soundness screen: when enabled every browser the runner
+        #: builds analyzes each executed script (memoised through the cache
+        #: stack's report tier) and attributes monitor decisions to it, so
+        #: ``self.screen.verify()`` checks the static-vs-dynamic contract
+        #: over everything this runner executed.
+        if static_screen:
+            from repro.analysis.soundness import StaticScreen
+
+            reports = self.caches.reports if self.caches is not None else None
+            self.screen: "StaticScreen | None" = StaticScreen(reports)
+        else:
+            self.screen = None
         #: Applications whose index pages already pre-warmed the stack.
         self._warmed_apps: set[str] = set()
         #: Random per-runner component of the markup-randomisation seeds:
@@ -272,6 +285,7 @@ class ScenarioRunner:
             app_kwargs=self._app_kwargs(scenario.app_key, spec),
             caches=caches,
             script_engine=self.script_engine,
+            static_screen=self.screen,
         )
         env.victim = scenario.victim.name
         # Every actor's browser seeds its pages' event loops with the
@@ -346,6 +360,7 @@ class ScenarioRunner:
                 interleave_seed=scenario.interleave or None,
                 caches=self.caches,
                 script_engine=self.script_engine,
+                static_screen=self.screen,
             )
             browsers[step.actor] = browser
         origin = env.app.origin

@@ -1,10 +1,19 @@
 """MiniScript: the reproduction's JavaScript-like scripting substrate."""
 
+from .analysis import (
+    ALL_SINKS,
+    ScriptReport,
+    analyze_program,
+    analyze_source,
+    script_digest,
+)
 from .cache import (
     DEFAULT_AST_CACHE_SIZE,
     DEFAULT_CODE_CACHE_SIZE,
+    DEFAULT_REPORT_CACHE_SIZE,
     ScriptAstCache,
     ScriptCodeCache,
+    ScriptReportCache,
 )
 from .compiler import CodeObject, compile_function, compile_program, fold_program
 from .errors import BudgetExceeded, LexError, ParseError, RuntimeScriptError, ScriptError
@@ -22,11 +31,13 @@ from .parser import parse_script
 from .vm import CompiledFunction, VirtualMachine
 
 __all__ = [
+    "ALL_SINKS",
     "BudgetExceeded",
     "CodeObject",
     "CompiledFunction",
     "DEFAULT_AST_CACHE_SIZE",
     "DEFAULT_CODE_CACHE_SIZE",
+    "DEFAULT_REPORT_CACHE_SIZE",
     "Environment",
     "ExecutionResult",
     "HostObject",
@@ -40,12 +51,17 @@ __all__ = [
     "ScriptCodeCache",
     "ScriptError",
     "ScriptFunction",
+    "ScriptReport",
+    "ScriptReportCache",
     "ScriptToken",
     "TokenType",
     "VirtualMachine",
+    "analyze_program",
+    "analyze_source",
     "compile_function",
     "compile_program",
     "fold_program",
     "parse_script",
+    "script_digest",
     "tokenize_script",
 ]

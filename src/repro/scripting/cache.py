@@ -37,6 +37,9 @@ DEFAULT_AST_CACHE_SIZE = 512
 #: Default number of distinct compiled code objects retained.
 DEFAULT_CODE_CACHE_SIZE = 512
 
+#: Default number of distinct static-analysis reports retained.
+DEFAULT_REPORT_CACHE_SIZE = 512
+
 
 def _fresh_error(error: ScriptError) -> ScriptError:
     """Rebuild a cached error for re-raising.
@@ -108,6 +111,86 @@ class ScriptAstCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of parses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Counters for benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ScriptReportCache:
+    """Bounded LRU of :class:`~repro.scripting.analysis.ScriptReport` values.
+
+    Third compile-cache tier, alongside the AST and bytecode caches: where
+    those memoise *how to run* a source, this memoises what the static
+    analyzer *proves about* it.  A report depends only on the source text,
+    so the same digest keying applies, and reports are frozen dataclasses of
+    plain values -- fully process-portable, so a warmed report cache ships
+    in warm-state snapshots exactly like the other tiers.
+
+    Unlike the sibling caches this one never raises: a source that fails
+    the front end still gets a (memoised) report with ``error`` set and an
+    empty sink set, which is exact -- a script that does not parse executes
+    nothing.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_REPORT_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("report cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def report_for(self, source: str, *, parse=parse_script):
+        """Analyze ``source``, serving repeats from the cache.
+
+        ``parse`` is the front end used on a miss -- pass a bound
+        :meth:`ScriptAstCache.parse` to share the AST tier with execution,
+        so a screened run parses each distinct source once for all three
+        consumers (analysis, walker, compiler).
+        """
+        from .analysis import analyze_source
+
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        report = analyze_source(source, parse=parse)
+        self._store(key, report)
+        return report
+
+    def _store(self, key: str, value) -> None:
+        entries = self._entries
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+        entries[key] = value
+
+    # -- introspection ---------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping every entry (see
+        :meth:`ScriptAstCache.reset_counters`)."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of analyses served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

@@ -4,14 +4,33 @@ from __future__ import annotations
 
 
 class ScriptError(Exception):
-    """Base class for every MiniScript error."""
+    """Base class for every MiniScript error.
+
+    ``line`` is a property so that late position stamping -- the walker's
+    node wrappers and the VM's line table attach positions after the error
+    is raised -- re-renders the displayed message to include it.
+    """
 
     def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
-        location = f" (line {line}, column {column})" if line is not None else ""
-        super().__init__(f"{message}{location}")
+        super().__init__(message)
         self.message = message
-        self.line = line
         self.column = column
+        self.line = line
+
+    @property
+    def line(self) -> int | None:
+        return self._line
+
+    @line.setter
+    def line(self, value: int | None) -> None:
+        self._line = value
+        if value is None:
+            location = ""
+        elif self.column is None:
+            location = f" (line {value})"
+        else:
+            location = f" (line {value}, column {self.column})"
+        self.args = (f"{self.message}{location}",)
 
 
 class LexError(ScriptError):

@@ -240,6 +240,29 @@ class Interpreter:
             raise BudgetExceeded("script exceeded its execution budget", line)
 
     def _execute(self, node: ast.Node, env: Environment):
+        """Execute one statement, stamping raised errors with its line.
+
+        The innermost node's wrapper sees an unstamped error first, so the
+        recorded position is the most precise one available; outer frames
+        leave an already-stamped error untouched.
+        """
+        try:
+            return self._execute_node(node, env)
+        except ScriptError as error:
+            if error.line is None and getattr(node, "line", 0):
+                error.line = node.line
+            raise
+
+    def _evaluate(self, node: ast.Node, env: Environment):
+        """Evaluate one expression, stamping raised errors with its line."""
+        try:
+            return self._evaluate_node(node, env)
+        except ScriptError as error:
+            if error.line is None and getattr(node, "line", 0):
+                error.line = node.line
+            raise
+
+    def _execute_node(self, node: ast.Node, env: Environment):
         self._tick(node.line)
         if isinstance(node, ast.ExpressionStatement):
             return self._evaluate(node.expression, env)
@@ -298,7 +321,7 @@ class Interpreter:
 
     # -- evaluation ----------------------------------------------------------------------
 
-    def _evaluate(self, node: ast.Node, env: Environment):
+    def _evaluate_node(self, node: ast.Node, env: Environment):
         self._tick(node.line)
         if isinstance(node, ast.NumberLiteral):
             return node.value

@@ -814,7 +814,13 @@ class VirtualMachine:
                     pc, env, depth = self._recover(code, pc - 1, target_pc, env, depth, stack, handlers)
                     if steps < self._steps:
                         steps = self._steps
-                except RuntimeScriptError:
+                except RuntimeScriptError as error:
+                    # Stamp the faulting instruction's source line (host-call
+                    # errors and the IC fast paths raise without one); the
+                    # innermost frame stamps first, so nested _invoke frames
+                    # keep the most precise position.
+                    if error.line is None:
+                        error.line = lines[pc - 1]
                     if not handlers:
                         raise
                     # A typeof soft region absorbs the error: the whole

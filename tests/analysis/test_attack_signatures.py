@@ -1,0 +1,160 @@
+"""Golden static signatures for every attack family.
+
+Each attack payload in ``repro.attacks`` is analyzed statically and its
+source→sink signature pinned.  The second half of the module checks the
+discrimination claim: for every family, at least one payload's signature is
+absent from the *benign* corpus -- the head/chrome scripts the webapps
+actually serve -- so the static pass alone separates the attack traffic.
+
+Two payloads (element defacement, privileged-child minting) share the
+benign ad script's taint signature on purpose: a DOM write is a DOM write.
+Those are separated by the syntactic escalation markers instead, mirroring
+the paper's split between mediation (rings) and tamper protection
+(configuration attributes).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.attacks import csrf, node_splitting, privilege_escalation, toctou, xss
+from repro.attacks.harness import build_environment, visit
+from repro.analysis.soundness import StaticScreen
+from repro.scripting.analysis import (
+    COOKIE_USE,
+    DOM_USE,
+    DOM_WRITE,
+    MARKER_PRIVILEGED_MARKUP,
+    MARKER_TAMPER,
+    XHR_USE,
+    analyze_source,
+)
+
+_SCRIPT_RE = re.compile(r"<script>(.*?)</script>", re.S)
+
+
+def script_of(html: str) -> str:
+    """The first inline script body of an attack payload's HTML."""
+    match = _SCRIPT_RE.search(html)
+    assert match is not None, f"no <script> in payload: {html[:80]!r}"
+    return match.group(1)
+
+
+def signature(source: str):
+    report = analyze_source(source)
+    assert report.error is None, report.error
+    return (report.sinks, report.flows, report.markers)
+
+
+# -- golden per-family signatures --------------------------------------------------------
+
+
+def test_xss_cookie_stealer_has_cookie_exfil_flow():
+    report = analyze_source(script_of(xss.payload_steal_cookie()))
+    assert ("cookie", XHR_USE) in report.flows
+    assert {XHR_USE, COOKIE_USE} <= report.sinks
+
+
+def test_xss_session_rider_forges_xhr_without_dom():
+    report = analyze_source(script_of(xss.payload_post_as_victim("/posting?mode=reply")))
+    assert report.sinks == frozenset({XHR_USE, COOKIE_USE})
+    assert report.flows == frozenset()
+
+
+def test_xss_dom_payloads_have_dom_write_flow():
+    for payload in (
+        xss.payload_modify_element("post-body-1", "pwned"),
+        xss.payload_deface_chrome("whoami", "haha"),
+    ):
+        report = analyze_source(script_of(payload))
+        assert {DOM_WRITE, DOM_USE} <= report.sinks
+        assert ("dom", DOM_WRITE) in report.flows
+
+
+def test_csrf_lure_signature():
+    report = analyze_source(script_of(csrf._lure_with_xhr("http://app.example.com", "/posting")))
+    assert report.sinks == frozenset({XHR_USE, COOKIE_USE})
+    assert report.flows == frozenset()
+
+
+def test_toctou_deferred_post_signature():
+    # The XHR fires from a setTimeout callback; the handler-escape pass must
+    # surface the deferred send all the same.
+    report = analyze_source(script_of(toctou.payload_deferred_post("/posting?mode=reply")))
+    assert {XHR_USE, COOKIE_USE} <= report.sinks
+
+
+def test_node_splitting_signature_combines_theft_and_defacement():
+    report = analyze_source(script_of(node_splitting.node_splitting_payload()))
+    assert ("cookie", XHR_USE) in report.flows
+    assert ("dom", DOM_WRITE) in report.flows
+    assert {XHR_USE, COOKIE_USE, DOM_WRITE, DOM_USE} <= report.sinks
+
+
+def test_privilege_remap_raises_tamper_marker():
+    report = analyze_source(script_of(privilege_escalation.payload_remap_own_scope()))
+    assert MARKER_TAMPER in report.markers
+    assert DOM_WRITE in report.sinks
+
+
+def test_privilege_mint_child_raises_privileged_markup_marker():
+    report = analyze_source(script_of(privilege_escalation.payload_create_privileged_child()))
+    assert MARKER_PRIVILEGED_MARKUP in report.markers
+    assert DOM_WRITE in report.sinks
+
+
+# -- discrimination against the benign corpus --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def benign_signatures():
+    """Signatures of every script the clean webapps actually serve.
+
+    Harvested by loading representative pages through a screened browser:
+    the StaticScreen observes each head/chrome script as it executes, so
+    the corpus is exactly what ships, not a re-typed copy.
+    """
+    signatures = set()
+    pages = {
+        "phpbb": ("/", "/viewtopic?t=1"),
+        "blog": ("/", "/post?id=1"),
+        "phpcalendar": ("/",),
+    }
+    for app_key, paths in pages.items():
+        screen = StaticScreen()
+        env = build_environment(app_key, "escudo", static_screen=screen)
+        for path in paths:
+            visit(env, path)
+        for record in screen._records.values():
+            report = record.report
+            assert report is not None
+            signatures.add((report.sinks, report.flows, report.markers))
+    assert signatures, "no benign scripts observed"
+    return signatures
+
+
+_FAMILY_DISCRIMINATORS = {
+    "xss": lambda: script_of(xss.payload_steal_cookie()),
+    "csrf": lambda: script_of(csrf._lure_with_xhr("http://app.example.com", "/posting")),
+    "toctou": lambda: script_of(toctou.payload_deferred_post("/posting?mode=reply")),
+    "node_splitting": lambda: script_of(node_splitting.node_splitting_payload()),
+    "privilege_escalation": lambda: script_of(privilege_escalation.payload_remap_own_scope()),
+}
+
+
+@pytest.mark.parametrize("family", sorted(_FAMILY_DISCRIMINATORS))
+def test_family_distinguishable_from_benign_corpus(family, benign_signatures):
+    sig = signature(_FAMILY_DISCRIMINATORS[family]())
+    assert sig not in benign_signatures, f"{family} payload indistinguishable from benign corpus"
+
+
+def test_benign_corpus_never_exfiltrates_cookies(benign_signatures):
+    for _sinks, flows, _markers in benign_signatures:
+        assert ("cookie", XHR_USE) not in flows
+
+
+def test_benign_corpus_has_no_escalation_markers(benign_signatures):
+    for _sinks, _flows, markers in benign_signatures:
+        assert markers == frozenset()

@@ -1,0 +1,81 @@
+"""Every ScriptError carries a source position, identically under both engines.
+
+The lexer and parser have always stamped line/column; this suite pins the
+newer guarantee that *runtime* failures are stamped too -- by the walker's
+node-level wrappers and by the VM's bytecode line table -- and that the two
+engines agree on the failing line for the same program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scripting.compiler import compile_program
+from repro.scripting.errors import LexError, ParseError, RuntimeScriptError, ScriptError
+from repro.scripting.interpreter import Interpreter
+from repro.scripting.parser import parse_script
+from repro.scripting.vm import VirtualMachine
+
+ENGINES = ("vm", "walker")
+
+
+def error_under(engine: str, source: str) -> ScriptError:
+    if engine == "walker":
+        result = Interpreter(max_steps=50_000).run(parse_script(source))
+    else:
+        result = VirtualMachine(max_steps=50_000).run(compile_program(parse_script(source)))
+    assert result.failed, f"expected {source!r} to fail under {engine}"
+    assert isinstance(result.error, ScriptError)
+    return result.error
+
+
+_RUNTIME_CASES = {
+    "missing-name": ("var a = 1;\nmissingName;", 2),
+    "not-a-function": ("var f = 3;\nvar a = 2;\nf();", 3),
+    "bad-member-call": ("var o = 'str';\nvar x = 1;\no.noSuchMethod();", 3),
+    "inside-function-body": ("function f() {\n  var x = 1;\n  boom();\n}\nf();", 3),
+    "inside-loop-body": ("var i = 0;\nwhile (i < 3) {\n  i = i + 1;\n  nope();\n}", 4),
+}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("case", sorted(_RUNTIME_CASES), ids=sorted(_RUNTIME_CASES))
+def test_runtime_errors_carry_the_failing_line(engine, case):
+    source, expected_line = _RUNTIME_CASES[case]
+    error = error_under(engine, source)
+    assert isinstance(error, RuntimeScriptError)
+    assert error.line == expected_line, (
+        f"{case} under {engine}: expected line {expected_line}, got {error.line}"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(_RUNTIME_CASES), ids=sorted(_RUNTIME_CASES))
+def test_engines_agree_on_error_positions(case):
+    source, _ = _RUNTIME_CASES[case]
+    assert error_under("vm", source).line == error_under("walker", source).line
+
+
+def test_error_message_renders_position():
+    error = error_under("vm", "var a = 1;\nmissingName;")
+    assert "line 2" in str(error)
+
+
+def test_lexer_errors_carry_line_and_column():
+    with pytest.raises(LexError) as excinfo:
+        parse_script("var a = 1;\nvar b = @;")
+    assert excinfo.value.line == 2
+    assert excinfo.value.column is not None
+
+
+def test_parser_errors_carry_line():
+    with pytest.raises(ParseError) as excinfo:
+        parse_script("var a = 1;\nvar = 2;")
+    assert excinfo.value.line == 2
+
+
+def test_budget_error_is_a_script_error_with_position_fields():
+    # A step-budget blowout must still be a well-formed ScriptError (the
+    # position attributes exist even when no single line is to blame).
+    result = Interpreter(max_steps=50).run(parse_script("var i = 0;\nwhile (true) { i = i + 1; }"))
+    assert result.failed
+    assert hasattr(result.error, "line")
