@@ -285,6 +285,61 @@ class PickleConfinementRule(Rule):
         return violations
 
 
+#: Identifier fragments that mark a loop as a retry/backoff loop.
+_RETRY_MARKERS = ("retry", "retries", "attempt", "backoff")
+
+
+class BoundedRetryRule(Rule):
+    """Retry loops must carry an explicit attempt bound.
+
+    A ``while True`` (or ``while 1``) loop whose body talks about retries,
+    attempts or backoff is the unbounded-resilience anti-pattern: one
+    permanently failing fault site would spin it forever.  The fault
+    plane's burst cap only guarantees convergence to *bounded* loops, so
+    retry loops are written ``for attempt in range(N)`` -- the cap is then
+    visible at the call site and enforced by construction.
+    """
+
+    rule_id = "bounded-retry"
+
+    @staticmethod
+    def _is_while_true(node: ast.While) -> bool:
+        test = node.test
+        return isinstance(test, ast.Constant) and test.value in (True, 1)
+
+    @staticmethod
+    def _mentions_retry(node: ast.While) -> bool:
+        for child in ast.walk(node):
+            name = None
+            if isinstance(child, ast.Name):
+                name = child.id
+            elif isinstance(child, ast.Attribute):
+                name = child.attr
+            elif isinstance(child, ast.arg):
+                name = child.arg
+            if name is None:
+                continue
+            lowered = name.lower()
+            if any(marker in lowered for marker in _RETRY_MARKERS):
+                return True
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        return [
+            self._violation(
+                path,
+                node,
+                "unbounded retry loop: 'while True' with retry/attempt/backoff "
+                "state; use 'for attempt in range(N)' so the attempt cap is "
+                "explicit",
+            )
+            for node in ast.walk(tree)
+            if isinstance(node, ast.While)
+            and self._is_while_true(node)
+            and self._mentions_retry(node)
+        ]
+
+
 #: Default rule set, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     WebappsTouchStateRule(),
@@ -292,6 +347,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     NoBareExceptRule(),
     PickleConfinementRule(),
+    BoundedRetryRule(),
 )
 
 

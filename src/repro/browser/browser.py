@@ -27,6 +27,7 @@ from repro.core.context import SecurityContext
 from repro.core.decision import Operation
 from repro.core.origin import Origin
 from repro.core.rings import Ring
+from repro.faults.plan import NETWORK_RETRY_ATTEMPTS, SITE_NETWORK, SITE_XHR
 from repro.http.cookies import Cookie, CookieJar, authorized_cookies, format_cookie_header
 from repro.http.headers import Headers
 from repro.http.messages import HttpRequest, HttpResponse
@@ -108,6 +109,9 @@ class Browser:
         self.cookie_jar = CookieJar()
         self.history = BrowserHistory()
         self.loaded: list[LoadedPage] = []
+        #: Fault plane for this browser's pages: armed by the scenario
+        #: runner.  ``None`` keeps every path below on its plain branch.
+        self.fault_plan = None
 
     # -- tabs -------------------------------------------------------------------------
 
@@ -154,6 +158,13 @@ class Browser:
         )
         self.history.record_visit(final_url, title=_page_title(page))
 
+        if self.fault_plan is not None and self.fault_plan.wants(SITE_XHR):
+            # Arm the XHR-completion fault site on this page's loop before
+            # any script can send an XHR.  Zero-rate plans skip the hook --
+            # a per-posted-task call that could never fire -- which is part
+            # of the armed-but-empty passivity/overhead contract.
+            page.event_loop.task_interceptor = self._xhr_task_interceptor
+
         if self.static_screen is not None:
             page.monitor.observer = self.static_screen.record
         runtime = ScriptRuntime(
@@ -194,10 +205,60 @@ class Browser:
         header = format_cookie_header(cookies)
         if header:
             request.attach_cookie_header(header)
-        response = self.network.dispatch(request)
+        response = self._dispatch(request)
         configuration = response.escudo_configuration()
         self.cookie_jar.store_from_response(url.origin, response.set_cookie_values, configuration)
         return response
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch with bounded retry against injected network faults.
+
+        With no plan armed this is one plain dispatch.  With retries armed,
+        a fault-marked response (drop / timeout / injected 5xx) is re-sent
+        up to the attempt cap; the burst cap guarantees one of those
+        attempts lands, so benign traffic converges to the fault-free
+        outcome.  With retries disarmed, the fault-marked response
+        propagates -- degraded availability, never extra authority.
+        """
+        response = self.network.dispatch(request)
+        if not response.fault:
+            return response
+        plan = self.network.fault_plan
+        if plan is None or not plan.retries:
+            return response
+        for _attempt in range(NETWORK_RETRY_ATTEMPTS - 1):
+            plan.stats.note_retry(SITE_NETWORK)
+            response = self.network.dispatch(request)
+            if not response.fault:
+                plan.stats.note_recovery()
+                break
+        return response
+
+    def _xhr_task_interceptor(self, loop: EventLoop, task) -> None:
+        """Fault-plane seam on each page's event loop (kind ``xhr`` only).
+
+        ``lose`` cancels the just-posted completion (the XHR layer notices
+        synchronously and arms its backoff retry); ``duplicate`` posts a
+        second task with the same callback -- delivery stays exactly-once
+        through the XHR generation guard, and a delivered duplicate would
+        still re-run the completion-time USE mediation, so duplication can
+        never widen authority.
+        """
+        if task.kind != "xhr":
+            return
+        plan = self.fault_plan
+        if plan is None:
+            return
+        kind = plan.decide(SITE_XHR)
+        if kind == "lose":
+            loop.cancel(task.task_id)
+        elif kind == "duplicate":
+            loop.post(
+                task.callback,
+                delay=max(0.0, task.due - loop.now),
+                kind="xhr-dup",
+                label=f"{task.label}:dup",
+            )
 
     # -- mediated request path (everything initiated by page principals) -------------------
 
@@ -240,7 +301,7 @@ class Browser:
         if header:
             request.attach_cookie_header(header)
 
-        response = self.network.dispatch(request)
+        response = self._dispatch(request)
         configuration = response.escudo_configuration()
         self._store_response_cookies(url.origin, response, configuration, monitor=page.monitor)
         return response

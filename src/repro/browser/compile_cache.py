@@ -338,6 +338,17 @@ class CompileCaches:
 
 # -- warm-state shipping -------------------------------------------------------------
 
+#: Schema header stamped on every shipped warm-state payload.  The version
+#: is bumped whenever WarmState's shape (or anything it transitively
+#: pickles) changes incompatibly, so a worker fed a snapshot from another
+#: build fails with a clear message instead of an unpickling traceback.
+WARM_STATE_SCHEMA = 1
+_WARM_STATE_MAGIC = b"REPRO-WARM:"
+
+
+class WarmStateError(RuntimeError):
+    """A shipped warm-state snapshot is stale, truncated or corrupt."""
+
 
 @dataclass
 class WarmState:
@@ -378,7 +389,8 @@ def dump_warm_state(
         nonce_secret=nonce_secret,
         warmed_apps=tuple(warmed_apps),
     )
-    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _WARM_STATE_MAGIC + str(WARM_STATE_SCHEMA).encode("ascii") + b"\n"
+    return header + pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def load_warm_state(data: bytes) -> WarmState:
@@ -396,7 +408,32 @@ def load_warm_state(data: bytes) -> WarmState:
     * the hit/miss telemetry is zeroed (entries stay warm), so per-worker
       cache rates describe per-worker traffic.
     """
-    state: WarmState = pickle.loads(data)
+    if not data.startswith(_WARM_STATE_MAGIC):
+        raise WarmStateError(
+            "warm-state payload has no schema header -- it was produced by an "
+            "incompatible build (or is not a warm-state snapshot at all); "
+            "re-warm in the parent instead of shipping it"
+        )
+    header, sep, payload = data.partition(b"\n")
+    version_text = header[len(_WARM_STATE_MAGIC):]
+    if not sep or not version_text.isdigit():
+        raise WarmStateError("warm-state payload is truncated inside its schema header")
+    version = int(version_text)
+    if version != WARM_STATE_SCHEMA:
+        raise WarmStateError(
+            f"warm-state schema mismatch: snapshot is v{version}, this build "
+            f"reads v{WARM_STATE_SCHEMA}; re-warm in the parent"
+        )
+    try:
+        state: WarmState = pickle.loads(payload)
+    except Exception as error:
+        raise WarmStateError(
+            f"warm-state payload is truncated or corrupt ({type(error).__name__}: {error})"
+        ) from error
+    if not isinstance(state, WarmState):
+        raise WarmStateError(
+            f"warm-state payload decoded to {type(state).__name__}, expected WarmState"
+        )
     tokens = [policy.cache_token for policy in state.caches.policies.values()]
     if tokens:
         reserve_policy_tokens(max(tokens) + 1)

@@ -121,6 +121,14 @@ class EventLoop:
         self._pending: dict[int, ScheduledTask] = {}
         self._microtasks: deque[Callable[[], None]] = deque()
         self._next_id = 1
+        #: Fault-plane seam: when set, called as ``interceptor(loop, task)``
+        #: after every :meth:`post` while the task is still pending.  The
+        #: interceptor may cancel the task (a lost completion) or post a
+        #: duplicate.  ``None`` (the default) is the exact pre-existing
+        #: behaviour -- task ids and sequence numbers are unaffected by an
+        #: interceptor that declines to act, so an armed-but-empty fault
+        #: plan stays byte-passive.
+        self.task_interceptor: Callable[["EventLoop", ScheduledTask], None] | None = None
 
     # -- scheduling -----------------------------------------------------------------
 
@@ -146,6 +154,8 @@ class EventLoop:
         order = task.seq if self.interleave_key is None else _mix(self.interleave_key, task.seq)
         heapq.heappush(self._heap, (task.due, order, task.seq, task))
         self._pending[task.task_id] = task
+        if self.task_interceptor is not None:
+            self.task_interceptor(self, task)
         return task
 
     def set_timeout(self, callback: Callable[[], None], delay: float = 0.0, *, label: str = "") -> int:

@@ -27,6 +27,12 @@ from typing import Callable
 
 from repro.core.context import SecurityContext
 from repro.core.decision import Operation
+from repro.faults.plan import (
+    SITE_XHR,
+    XHR_BACKOFF_BASE_MS,
+    XHR_BACKOFF_CAP_MS,
+    XHR_RETRY_ATTEMPTS,
+)
 from repro.http.headers import Headers
 from repro.scripting.errors import RuntimeScriptError
 from repro.scripting.interpreter import HostObject, NativeFunction
@@ -71,6 +77,12 @@ class XmlHttpRequest(HostObject):
         self._onload = None
         self._onreadystatechange = None
         self.denied = False
+        # Exactly-once completion accounting under the fault plane: every
+        # send() gets a fresh generation; only the completion carrying the
+        # *current* generation may deliver, and only once.  Without a fault
+        # plan the counters are inert (one send, one completion).
+        self._send_generation = 0
+        self._delivered_generation = 0
 
     # -- script-facing protocol ------------------------------------------------------
 
@@ -158,26 +170,95 @@ class XmlHttpRequest(HostObject):
         self._reset_request_state(clear_request_headers=False)
 
         payload = str(body) if body is not None else ""
+        self._send_generation += 1
+        generation = self._send_generation
         loop = self._page.event_loop
-        task = loop.post(
-            lambda: self._complete(payload),
+        task = self._post_completion(payload, generation)
+        if self._async:
+            self.ready_state = 2.0
+            if task.cancelled:
+                # The fault plane lost the queued completion; schedule the
+                # first backoff retry (a no-op without retries armed).
+                self._pending = None
+                self._schedule_retry(payload, generation, attempt=1)
+            return
+        # Synchronous path: re-post in place when the plane keeps losing the
+        # completion.  Bounded; the burst cap guarantees convergence well
+        # inside the cap when retries are armed.
+        for _attempt in range(XHR_RETRY_ATTEMPTS):
+            if not task.cancelled:
+                self._pending = None
+                loop.run_task(task)
+                return
+            plan = self._fault_plan()
+            if plan is None or not plan.retries:
+                # Lost for good: the request never completes (status stays 0).
+                self._pending = None
+                return
+            plan.stats.note_retry(SITE_XHR)
+            task = self._post_completion(payload, generation)
+        self._pending = None
+
+    def _post_completion(self, payload: str, generation: int) -> ScheduledTask:
+        """Enqueue the completion task for ``generation`` (shared by retries)."""
+        task = self._page.event_loop.post(
+            lambda: self._complete(payload, generation),
             delay=XHR_COMPLETION_LATENCY_MS if self._async else 0.0,
             kind="xhr",
             label=f"xhr:{self._method} {self._url_text}",
         )
-        if self._async:
-            self._pending = task
-            self.ready_state = 2.0
-            return
-        loop.run_task(task)
+        self._pending = task
+        return task
 
-    def _complete(self, body: str) -> None:
+    def _fault_plan(self):
+        return getattr(self._browser, "fault_plan", None)
+
+    def _schedule_retry(self, payload: str, generation: int, attempt: int) -> None:
+        """Capped exponential virtual-clock backoff for a lost async completion."""
+        plan = self._fault_plan()
+        if plan is None or not plan.retries or attempt > XHR_RETRY_ATTEMPTS:
+            return
+        delay = min(XHR_BACKOFF_CAP_MS, XHR_BACKOFF_BASE_MS * (2 ** (attempt - 1)))
+        plan.stats.note_retry(SITE_XHR, latency_ms=delay)
+        self._page.event_loop.set_timeout(
+            lambda: self._retry_send(payload, generation, attempt),
+            delay,
+            label=f"xhr-retry:{attempt}",
+        )
+
+    def _retry_send(self, payload: str, generation: int, attempt: int) -> None:
+        """Backoff timer body: re-post the completion unless superseded."""
+        if generation != self._send_generation or self._delivered_generation >= generation:
+            return
+        task = self._post_completion(payload, generation)
+        if task.cancelled:
+            self._pending = None
+            self._schedule_retry(payload, generation, attempt + 1)
+        else:
+            plan = self._fault_plan()
+            if plan is not None:
+                plan.stats.note_recovery()
+
+    def _complete(self, body: str, generation: int) -> None:
         """The queued completion: mediation *and* delivery happen here.
 
         Running the ``use`` check at completion time (not at ``send()``)
         is what makes the decision reflect policy changes that landed while
         the task was queued.
+
+        Exactly-once guard: a completion whose generation was superseded by
+        a newer ``send()``/``open()``, or already delivered (the fault
+        plane's duplicated task), is suppressed before any state or callback
+        is touched.  Every completion that *does* deliver runs the full
+        mediation below -- duplication can never bypass the USE check, so a
+        denied request stays denied under any fault schedule (fail-closed).
         """
+        if generation != self._send_generation or self._delivered_generation >= generation:
+            plan = self._fault_plan()
+            if plan is not None:
+                plan.stats.note_suppressed()
+            return
+        self._delivered_generation = generation
         if self._scope is not None:
             with self._scope():
                 self._complete_inner(body)

@@ -1,0 +1,42 @@
+"""Seeded, deterministic fault-injection plane.
+
+See :mod:`repro.faults.plan` for the schedule machinery and
+:mod:`repro.scenarios.chaos` for the chaos differential oracle built on
+top of it.  ``python -m repro.faults`` runs the chaos matrix, the
+passivity check, and the disabled-plane overhead gate, and writes
+``BENCH_faults.json``.
+"""
+
+from .plan import (
+    DEFAULT_BURST_CAP,
+    NETWORK_RETRY_ATTEMPTS,
+    SITE_KINDS,
+    SITE_NETWORK,
+    SITE_STORAGE,
+    SITE_WORKER,
+    SITE_XHR,
+    XHR_BACKOFF_BASE_MS,
+    XHR_BACKOFF_CAP_MS,
+    XHR_RETRY_ATTEMPTS,
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+    merge_fault_stats,
+)
+
+__all__ = [
+    "DEFAULT_BURST_CAP",
+    "NETWORK_RETRY_ATTEMPTS",
+    "SITE_KINDS",
+    "SITE_NETWORK",
+    "SITE_STORAGE",
+    "SITE_WORKER",
+    "SITE_XHR",
+    "XHR_BACKOFF_BASE_MS",
+    "XHR_BACKOFF_CAP_MS",
+    "XHR_RETRY_ATTEMPTS",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultStats",
+    "merge_fault_stats",
+]

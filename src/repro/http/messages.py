@@ -30,6 +30,7 @@ REASON_PHRASES = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
     502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 
@@ -124,6 +125,10 @@ class HttpResponse:
     headers: Headers = field(default_factory=Headers)
     body: str = ""
     content_type: str = "text/html; charset=utf-8"
+    #: Non-empty when this response was synthesised by the fault-injection
+    #: plane instead of a server (the fault kind, e.g. ``"drop"``).  The
+    #: browser's retry layer keys off this; applications never set it.
+    fault: str = ""
 
     # -- construction helpers ------------------------------------------------------
 

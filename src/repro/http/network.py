@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Protocol, runtime_checkable
 
 from repro.core.origin import Origin
+from repro.faults.plan import SITE_NETWORK as _SITE_NETWORK
 
 from .messages import HttpRequest, HttpResponse
 from .url import Url
@@ -62,6 +63,11 @@ class Network:
         self._servers: dict[Origin, HttpServer] = {}
         self._log: list[RequestRecord] = []
         self._sequence = 0
+        #: Armed by the scenario runner; ``None`` means the fault plane is
+        #: absent and dispatch takes the plain path.
+        self.fault_plan = None
+        self._fault_log: list[RequestRecord] = []
+        self._fault_sequence = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -91,7 +97,20 @@ class Network:
 
         Unknown origins produce a 502 so misconfigured tests fail loudly
         rather than hanging.
+
+        When a fault plan is armed, the plane may intercept the exchange
+        *before* the server sees it: dropped/timed-out/5xx-injected
+        requests never reach a handler and are recorded in the separate
+        fault log, not the main one.  The main log stays the CSRF ground
+        truth for which cookies actually reached a server — a faulted
+        exchange can only remove capability relative to the fault-free
+        run, never add it (fail-closed).
         """
+        plan = self.fault_plan
+        if plan is not None:
+            kind = plan.decide(_SITE_NETWORK)
+            if kind is not None:
+                return self._record_fault(request, kind)
         server = self._servers.get(request.origin)
         if server is None:
             response = HttpResponse(
@@ -102,6 +121,24 @@ class Network:
             response = server.handle_request(request)
         self._sequence += 1
         self._log.append(RequestRecord(request=request, response=response, sequence=self._sequence))
+        return response
+
+    def _record_fault(self, request: HttpRequest, kind: str) -> HttpResponse:
+        """Synthesise and log the fault-plane response for ``kind``."""
+        if kind == "http_500":
+            response = HttpResponse(
+                status=500,
+                body="<html><body><h1>500</h1><p>injected transient server error</p></body></html>",
+                fault=kind,
+            )
+        else:
+            # drop / timeout: the exchange never completes; the browser
+            # sees a status-0 response with no body and no headers.
+            response = HttpResponse(status=0, body="", content_type="", fault=kind)
+        self._fault_sequence += 1
+        self._fault_log.append(
+            RequestRecord(request=request, response=response, sequence=self._fault_sequence)
+        )
         return response
 
     # -- the request log --------------------------------------------------------------
@@ -130,10 +167,17 @@ class Network:
             matches.append(record)
         return matches
 
+    @property
+    def fault_log(self) -> list[RequestRecord]:
+        """Exchanges intercepted by the fault plane, oldest first."""
+        return list(self._fault_log)
+
     def clear_log(self) -> None:
         """Reset the request log (between experiment repetitions)."""
         self._log.clear()
         self._sequence = 0
+        self._fault_log.clear()
+        self._fault_sequence = 0
 
     def traffic_summary(self) -> dict[str, int]:
         """Counts per origin, used by the benchmark reports."""

@@ -119,6 +119,35 @@ def _parse_args(argv) -> argparse.Namespace:
         "byte-identical either way)",
     )
     parser.add_argument(
+        "--faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="arm the deterministic fault-injection plane at this per-site "
+        "rate (network/storage/xhr; default: 0.0 = no plane)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        default="0",
+        metavar="SEED",
+        help="seed of the fault plane's deterministic schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--no-fault-retries",
+        action="store_true",
+        help="disable the resilience layer (retries/backoff); injected faults "
+        "then surface as degraded runs instead of being healed",
+    )
+    parser.add_argument(
+        "--crash-worker",
+        action="append",
+        default=[],
+        metavar="W:N",
+        help="crash worker W at its N-th stolen chunk (1-based; repeatable); "
+        "the supervisor requeues the chunk and respawns a replacement -- the "
+        "merged report stays byte-identical to the serial run",
+    )
+    parser.add_argument(
         "--bench-out",
         default=DEFAULT_BENCH_OUT,
         help="where suite runs write the throughput JSON "
@@ -162,6 +191,27 @@ def main(argv=None) -> int:
     if args.replay:
         return _replay_one(args)
 
+    faults = None
+    if args.faults > 0.0 or args.crash_worker:
+        from repro.faults.plan import FaultConfig
+
+        seed_text = args.fault_seed
+        faults = FaultConfig.uniform(
+            seed=int(seed_text) if seed_text.lstrip("-").isdigit() else seed_text,
+            rate=args.faults,
+            retries=not args.no_fault_retries,
+        )
+    crash_schedule: dict[int, int] | None = None
+    if args.crash_worker:
+        crash_schedule = {}
+        for spec in args.crash_worker:
+            worker_text, _, ordinal_text = spec.partition(":")
+            try:
+                crash_schedule[int(worker_text)] = int(ordinal_text)
+            except ValueError:
+                print(f"bad --crash-worker spec {spec!r} (expected W:N)", file=sys.stderr)
+                return 2
+
     # Suite runs always go through the sharded executor: with --workers 1 the
     # single shard runs in-process (no pool), so the serial and parallel code
     # paths -- and their merged reports -- are one and the same.
@@ -178,6 +228,8 @@ def main(argv=None) -> int:
         storage=args.backend,
         steal_chunk=args.steal_chunk or None,
         warm_ship=not args.no_warm_ship,
+        faults=faults,
+        crash_schedule=crash_schedule,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))

@@ -1,0 +1,234 @@
+"""The chaos differential oracle: fault schedules against the security claims.
+
+The fault-injection plane (:mod:`repro.faults`) can drop requests, break
+storage writes, lose XHR completions and crash executor workers.  This
+module checks that none of it ever weakens the reference monitor.  Three
+properties, each checked over a matrix of deterministic fault schedules:
+
+* **fail-closed** -- no attack scenario ever *succeeds* under escudo,
+  whatever the fault schedule and whether or not the resilience layer is
+  armed.  Faults may only remove capability (a dropped request, a lost
+  completion); every delivery that does happen is still mediated, so a
+  blocked attack can never become an open one.
+* **benign convergence** -- with retries armed, every benign scenario ends
+  in the exact application state digest of its fault-free baseline: the
+  resilience layer (network re-dispatch, storage write retry, XHR backoff)
+  heals transient faults completely at the checked rates.
+* **passivity** -- an *armed but empty* fault plan perturbs nothing: the
+  suite parity report is byte-identical to a run with no plane installed,
+  serially and across the worker pool, on both storage backends.
+
+:func:`run_chaos_matrix` and :func:`check_passivity` are the library
+entry points; ``python -m repro.faults`` drives both and writes the
+``BENCH_faults.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultConfig, merge_fault_stats
+
+from .engine import run_suite
+from .generator import ScenarioGenerator
+from .parallel import run_suite_parallel
+from .runner import ScenarioRunner
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated outcome of one fault-schedule matrix."""
+
+    seed: int | str
+    count: int
+    schedules: int
+    rate: float
+    storage: str
+    #: Scenario runs executed under an armed fault plan.
+    runs_faulted: int = 0
+    #: Fail-open events: an attack that *succeeded* under escudo with a
+    #: fault schedule armed.  Must stay empty -- each entry names the
+    #: scenario, schedule and retry mode that broke the claim.
+    fail_open: list[dict] = field(default_factory=list)
+    #: Convergence violations: benign scenarios that, with retries armed,
+    #: did not reach their fault-free state digest (or crashed).
+    diverged: list[dict] = field(default_factory=list)
+    #: Benign runs that degraded *with retries disabled* -- expected and
+    #: allowed (that is what the resilience layer exists to prevent).
+    degraded: int = 0
+    #: Runs that raised with retries disabled (an unhealed fault surfacing
+    #: as a hard error); counted, never fail-open.
+    crashes: int = 0
+    #: Aggregated fault-plane telemetry over the whole matrix.
+    faults: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when fail-closed and convergence both held everywhere."""
+        return not self.fail_open and not self.diverged
+
+    @property
+    def total_schedule_runs(self) -> int:
+        """Distinct (scenario, schedule, retry-mode) fault runs checked."""
+        return self.runs_faulted
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "schedules": self.schedules,
+            "rate": self.rate,
+            "storage": self.storage,
+            "ok": self.ok,
+            "runs_faulted": self.runs_faulted,
+            "fail_open": self.fail_open,
+            "diverged": self.diverged,
+            "degraded": self.degraded,
+            "crashes": self.crashes,
+            "faults": self.faults,
+        }
+
+
+def run_chaos_matrix(
+    *,
+    seed: int | str = 42,
+    count: int = 25,
+    schedules: int = 4,
+    rate: float = 0.15,
+    storage: str = "dict",
+    attack_ratio: float = 0.5,
+) -> ChaosReport:
+    """Run every scenario under ``schedules`` × {retries on, off} fault plans.
+
+    Scenarios run under escudo only -- the claim under test is the
+    *protected* column's behaviour under faults; the policy-differential
+    itself is the ordinary suite's job.  Each scenario's fault-free escudo
+    run provides the baseline digest that the retries-armed runs must
+    converge to.  The default parameters give ``25 × 4 × 2 = 200`` distinct
+    fault-schedule runs.
+    """
+    generator = ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
+    report = ChaosReport(
+        seed=seed, count=count, schedules=schedules, rate=rate, storage=storage
+    )
+
+    baseline_runner = ScenarioRunner(models=("escudo",), storage=storage)
+    scenarios = [generator.scenario(index) for index in range(count)]
+    baselines = {
+        scenario.name: baseline_runner.run_under(scenario, "escudo")
+        for scenario in scenarios
+    }
+    for scenario in scenarios:
+        base = baselines[scenario.name]
+        if base.attack_result is not None and base.attack_result.succeeded:
+            # The monitor must already block this attack fault-free;
+            # chaos results would be meaningless on a broken baseline.
+            raise RuntimeError(
+                f"fault-free escudo baseline fails closed-world check: "
+                f"attack {scenario.name!r} succeeded without any faults"
+            )
+
+    for schedule in range(schedules):
+        for retries in (False, True):
+            config = FaultConfig.uniform(
+                seed=f"{seed}:{schedule}", rate=rate, retries=retries
+            )
+            runner = ScenarioRunner(models=("escudo",), storage=storage, faults=config)
+            for scenario in scenarios:
+                report.runs_faulted += 1
+                where = {
+                    "scenario": scenario.name,
+                    "schedule": schedule,
+                    "retries": retries,
+                }
+                try:
+                    run = runner.run_under(scenario, "escudo")
+                except Exception as error:  # noqa: BLE001 - any unhealed fault
+                    # A run the faults broke outright: with retries off this
+                    # is expected degradation; with retries on, a benign
+                    # scenario failing to complete is a convergence bug.  An
+                    # attack that never ran cannot have succeeded.
+                    report.crashes += 1
+                    if retries and scenario.kind == "benign":
+                        report.diverged.append(
+                            dict(where, reason=f"run crashed: {error}")
+                        )
+                    continue
+                merge_fault_stats(report.faults, run.faults)
+                if run.attack_result is not None and run.attack_result.succeeded:
+                    report.fail_open.append(
+                        dict(where, reason=run.attack_result.detail)
+                    )
+                if scenario.kind != "benign":
+                    continue
+                baseline = baselines[scenario.name]
+                if run.digest == baseline.digest:
+                    continue
+                if retries:
+                    report.diverged.append(
+                        dict(
+                            where,
+                            reason=(
+                                f"digest {run.digest[:12]} != fault-free "
+                                f"baseline {baseline.digest[:12]}"
+                            ),
+                        )
+                    )
+                else:
+                    report.degraded += 1
+    return report
+
+
+def check_passivity(
+    *,
+    seed: int | str = 11,
+    count: int = 12,
+    workers: int = 4,
+    storages=("dict", "sqlite"),
+) -> dict:
+    """Armed-but-empty fault plan ≡ no plane at all, byte for byte.
+
+    Compares the canonical suite parity report between a run with no fault
+    plane installed and one with :meth:`FaultConfig.empty` armed (every
+    site present, every rate zero) -- serially and over a ``workers``-wide
+    pool, on every backend in ``storages``.  Any byte of divergence means
+    the plane is not passive and fails the check.
+    """
+    checks: list[dict] = []
+    for storage in storages:
+        absent = run_suite(seed=seed, count=count, storage=storage)
+        armed = run_suite(
+            seed=seed, count=count, storage=storage, faults=FaultConfig.empty()
+        )
+        checks.append(
+            {
+                "mode": "serial",
+                "storage": storage,
+                "identical": json.dumps(absent.parity_dict(), sort_keys=True)
+                == json.dumps(armed.parity_dict(), sort_keys=True),
+            }
+        )
+        absent_pool = run_suite_parallel(
+            seed=seed, count=count, storage=storage, workers=workers,
+            persist_failures=False,
+        )
+        armed_pool = run_suite_parallel(
+            seed=seed, count=count, storage=storage, workers=workers,
+            persist_failures=False, faults=FaultConfig.empty(),
+        )
+        checks.append(
+            {
+                "mode": f"parallel-{workers}",
+                "storage": storage,
+                "identical": json.dumps(absent_pool.parity_dict(), sort_keys=True)
+                == json.dumps(armed_pool.parity_dict(), sort_keys=True),
+            }
+        )
+    return {
+        "ok": all(check["identical"] for check in checks),
+        "seed": seed,
+        "count": count,
+        "workers": workers,
+        "checks": checks,
+    }

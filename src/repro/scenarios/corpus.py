@@ -63,6 +63,10 @@ class CorpusEntry:
     replay: str = ""
     #: Expected replay outcome -- see the module docstring.
     expect_ok: bool = False
+    #: Fault-injection config (``FaultConfig.to_dict()``) the failure was
+    #: observed under, or ``None`` for a fault-free run.  Replaying re-arms
+    #: the exact same deterministic schedule.
+    faults: dict | None = None
     schema: int = CORPUS_SCHEMA
 
     @property
@@ -71,8 +75,15 @@ class CorpusEntry:
         return str(self.spec.get("name", "unnamed"))
 
     def digest(self) -> str:
-        """Content digest over ``(spec, models)`` -- the dedupe key."""
-        payload = canonical_spec_json({"spec": self.spec, "models": list(self.models)})
+        """Content digest over ``(spec, models[, faults])`` -- the dedupe key.
+
+        The fault schedule joins the payload only when one is pinned, so
+        every pre-fault-plane corpus file keeps its historical name.
+        """
+        body: dict = {"spec": self.spec, "models": list(self.models)}
+        if self.faults is not None:
+            body["faults"] = self.faults
+        payload = canonical_spec_json(body)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
     def filename(self) -> str:
@@ -88,11 +99,11 @@ class CorpusEntry:
         from .runner import ScenarioRunner
 
         scenario = self.scenario()
-        runner = ScenarioRunner(models=self.models)
+        runner = ScenarioRunner(models=self.models, faults=self.faults)
         return DifferentialOracle().classify(scenario, runner.run(scenario))
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "schema": self.schema,
             "spec": self.spec,
             "models": list(self.models),
@@ -100,6 +111,9 @@ class CorpusEntry:
             "replay": self.replay,
             "expect_ok": self.expect_ok,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
@@ -109,6 +123,7 @@ class CorpusEntry:
             reason=data.get("reason", ""),
             replay=data.get("replay", ""),
             expect_ok=bool(data.get("expect_ok", False)),
+            faults=data.get("faults"),
             schema=int(data.get("schema", CORPUS_SCHEMA)),
         )
 
@@ -131,11 +146,21 @@ def save_failure(
     models,
     reason: str = "",
     replay: str = "",
+    faults: dict | None = None,
     directory: Path | str | None = None,
 ) -> Path:
-    """Pin a failing spec discovered by a fuzzing run (``expect_ok=False``)."""
+    """Pin a failing spec discovered by a fuzzing run (``expect_ok=False``).
+
+    ``faults`` pins the fault-injection config alongside the spec, so a
+    failure found under an injected schedule auto-replays under it too.
+    """
     entry = CorpusEntry(
-        spec=spec, models=tuple(models), reason=reason, replay=replay, expect_ok=False
+        spec=spec,
+        models=tuple(models),
+        reason=reason,
+        replay=replay,
+        expect_ok=False,
+        faults=faults,
     )
     return save_entry(entry, directory)
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.faults.plan import merge_fault_stats
+
 from .generator import ScenarioGenerator
 from .oracle import DifferentialOracle, Verdict
 from .runner import ScenarioRunner
@@ -45,6 +47,11 @@ class SuiteResult:
     #: Event-loop macrotasks executed across the whole suite.  Part of the
     #: parity report: shards must reproduce the exact task schedule.
     tasks_run: int = 0
+    #: Aggregated fault-plane accounting (``{}`` without a plane or when no
+    #: fault fired).  Reporting only: deliberately excluded from
+    #: :meth:`parity_dict` so fault telemetry can never perturb the parity
+    #: oracles.
+    faults: dict = field(default_factory=dict)
 
     @property
     def failures(self) -> list[Verdict]:
@@ -128,6 +135,7 @@ class SuiteResult:
             "cache_hit_rate": self.cache_hit_rate,
             "pages_loaded": self.pages_loaded,
             "tasks_run": self.tasks_run,
+            "faults": self.faults,
         }
 
     def summary(self) -> str:
@@ -171,6 +179,7 @@ def run_suite(
     compile_caches: bool = True,
     script_engine: str = "vm",
     storage: str = "dict",
+    faults=None,
 ) -> SuiteResult:
     """Generate and differentially check ``count`` scenarios.
 
@@ -181,8 +190,10 @@ def run_suite(
     controls the default runner's warm compile-cache stack and
     ``script_engine`` its execution engine (``"vm"`` or ``"walker"``) and
     ``storage`` the application persistence backend (``"dict"`` or
-    ``"sqlite"``); all three are ignored when an explicit ``runner`` is
-    passed.
+    ``"sqlite"``); with ``faults`` a
+    :class:`~repro.faults.plan.FaultConfig` (or its dict form) arms the
+    fault-injection plane on every run.  All four are ignored when an
+    explicit ``runner`` is passed (the runner carries its own).
     """
     generator = generator or ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
     runner = runner or ScenarioRunner(
@@ -190,6 +201,7 @@ def run_suite(
         compile_caches=compile_caches,
         script_engine=script_engine,
         storage=storage,
+        faults=faults,
     )
     oracle = oracle or DifferentialOracle()
     model_names = tuple(spec.name for spec in runner.specs)
@@ -209,14 +221,17 @@ def run_suite(
         result.indices.append(index)
         result.verdicts.append(verdict)
         if not verdict.ok:
-            result.failure_specs.append(
-                {
-                    "index": index,
-                    "spec": scenario.to_dict(),
-                    "reason": verdict.reason,
-                    "replay": verdict.replay,
-                }
-            )
+            failure = {
+                "index": index,
+                "spec": scenario.to_dict(),
+                "reason": verdict.reason,
+                "replay": verdict.replay,
+            }
+            if runner.faults is not None:
+                # Pin the fault schedule with the spec so the corpus replay
+                # reproduces the failure under the same faults.
+                failure["faults"] = runner.faults.to_dict()
+            result.failure_specs.append(failure)
         for run in runs.values():
             result.mediations += run.mediations
             result.denied += run.denied
@@ -224,5 +239,7 @@ def run_suite(
             result.cache_lookups += run.cache_lookups
             result.pages_loaded += run.pages_loaded
             result.tasks_run += run.tasks_run
+            if run.faults:
+                merge_fault_stats(result.faults, run.faults)
     result.duration_s = time.perf_counter() - start
     return result

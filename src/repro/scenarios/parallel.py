@@ -44,10 +44,13 @@ writer, so no file races between workers).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
 from queue import Empty
+
+from repro.faults.plan import FaultConfig, merge_fault_stats
 
 from .corpus import save_failure
 from .engine import SuiteResult, run_suite
@@ -59,8 +62,13 @@ from .runner import ScenarioRunner
 #: Upper bound on the auto-selected steal-chunk size.
 MAX_AUTO_STEAL_CHUNK = 16
 
-#: Seconds between liveness checks while waiting for worker reports.
-_REPORT_POLL_S = 10.0
+#: Seconds between supervision polls of the result queue.  Short, because
+#: the parent must notice a dead worker quickly to requeue its chunk.
+_SUPERVISE_POLL_S = 0.25
+
+#: The exit code an injected worker crash dies with (distinguishable from
+#: a Python traceback's exit 1 in the supervision log).
+CRASH_EXIT_CODE = 3
 
 
 def partition_indices(count: int, shards: int) -> list[list[int]]:
@@ -125,12 +133,14 @@ def _build_worker_runner(config: dict) -> ScenarioRunner:
             models=tuple(config["models"]),
             script_engine=config.get("script_engine", "vm"),
             storage=config.get("storage", "dict"),
+            faults=config.get("faults"),
         )
     return ScenarioRunner(
         models=tuple(config["models"]),
         compile_caches=config.get("compile_caches", True),
         script_engine=config.get("script_engine", "vm"),
         storage=config.get("storage", "dict"),
+        faults=config.get("faults"),
     )
 
 
@@ -195,6 +205,8 @@ def _run_shard(config: dict) -> dict:
         "cache_lookups": suite.cache_lookups,
         "pages_loaded": suite.pages_loaded,
         "tasks_run": suite.tasks_run,
+        "faults": suite.faults,
+        "crashed": False,
         "compile_cache": runner.caches.as_dict() if runner.caches is not None else None,
     }
 
@@ -204,56 +216,77 @@ def _steal_worker(worker_id: int, config: dict, task_queue, result_queue) -> Non
 
     The generator / runner / oracle stack is built **once** and reused for
     every stolen chunk, so cache warmth (shipped or self-accumulated)
-    spans the worker's whole lifetime.  Any failure is reported back as an
-    ``error`` entry instead of a silent empty report.
+    spans the worker's whole lifetime.
+
+    The per-chunk message protocol is what makes the executor *supervisable*:
+    a ``claim`` message announces the chunk before any scenario runs, a
+    ``chunk`` message carries its verdicts once done, and a ``done`` message
+    closes the worker.  A worker that dies between ``claim`` and ``chunk``
+    leaves the parent an exact record of which indices are lost -- the
+    supervision loop requeues precisely those.  Any Python-level failure is
+    reported back as an ``error`` entry instead of a silent empty report.
+
+    ``config["crash_schedule"]`` maps a worker id to a 1-based chunk ordinal
+    at which this worker fault-crashes (claim sent, chunk never reported) --
+    the fault plane's ``executor.worker`` site.
     """
     try:
         start = time.perf_counter()
+        crash_at = (config.get("crash_schedule") or {}).get(worker_id)
         generator = _build_worker_generator(config)
         runner = _build_worker_runner(config)
         oracle = DifferentialOracle()
-        report = {
-            "shard": worker_id,
-            "scenarios": 0,
-            "chunks_stolen": 0,
-            "verdicts": [],
-            "failures": [],
-            "mediations": 0,
-            "denied": 0,
-            "cache_hits": 0,
-            "cache_lookups": 0,
-            "pages_loaded": 0,
-            "tasks_run": 0,
-        }
+        chunks_claimed = 0
         while True:
             chunk = task_queue.get()
             if chunk is None:
                 break
+            chunks_claimed += 1
+            result_queue.put(
+                {"type": "claim", "worker": worker_id, "indices": list(chunk)}
+            )
+            if crash_at is not None and chunks_claimed == crash_at:
+                # Injected mid-chunk crash.  Flush the queue feeder first so
+                # the claim above is guaranteed to reach the parent -- the
+                # supervision contract is "claimed but unreported", not
+                # "silently vanished".
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(CRASH_EXIT_CODE)
             suite = run_suite(
                 generator=generator, runner=runner, oracle=oracle, indices=chunk
             )
-            report["verdicts"].extend(_verdict_entries(worker_id, chunk, suite))
-            report["failures"].extend(suite.failure_specs)
-            report["chunks_stolen"] += 1
-            report["scenarios"] += len(suite.verdicts)
-            for counter in (
-                "mediations",
-                "denied",
-                "cache_hits",
-                "cache_lookups",
-                "pages_loaded",
-                "tasks_run",
-            ):
-                report[counter] += getattr(suite, counter)
-        report["duration_s"] = time.perf_counter() - start
-        report["compile_cache"] = (
-            runner.caches.as_dict() if runner.caches is not None else None
+            result_queue.put(
+                {
+                    "type": "chunk",
+                    "worker": worker_id,
+                    "indices": list(chunk),
+                    "verdicts": _verdict_entries(worker_id, chunk, suite),
+                    "failures": suite.failure_specs,
+                    "mediations": suite.mediations,
+                    "denied": suite.denied,
+                    "cache_hits": suite.cache_hits,
+                    "cache_lookups": suite.cache_lookups,
+                    "pages_loaded": suite.pages_loaded,
+                    "tasks_run": suite.tasks_run,
+                    "faults": suite.faults,
+                }
+            )
+        result_queue.put(
+            {
+                "type": "done",
+                "worker": worker_id,
+                "duration_s": time.perf_counter() - start,
+                "compile_cache": (
+                    runner.caches.as_dict() if runner.caches is not None else None
+                ),
+            }
         )
-        result_queue.put(report)
     except BaseException as exc:  # pragma: no cover - exercised via fault injection
         result_queue.put(
             {
-                "shard": worker_id,
+                "type": "error",
+                "worker": worker_id,
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
             }
@@ -280,6 +313,10 @@ class ParallelSuiteResult(SuiteResult):
     shard_stats: list[dict] = field(default_factory=list)
     #: Corpus files the run's failures were pinned into.
     corpus_paths: list[str] = field(default_factory=list)
+    #: Replacement workers started after crashes (0 without fault injection).
+    respawns: int = 0
+    #: Worker ids that died mid-run; their claimed chunks were requeued.
+    crashed_workers: list[int] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         data = super().as_dict()
@@ -288,6 +325,8 @@ class ParallelSuiteResult(SuiteResult):
         data["warm_ship"] = self.warm_ship
         data["steal_chunk"] = self.steal_chunk
         data["mp_start_method"] = self.mp_start_method
+        data["respawns"] = self.respawns
+        data["crashed_workers"] = list(self.crashed_workers)
         data["shards"] = self.shard_stats
         if self.corpus_paths:
             data["corpus"] = list(self.corpus_paths)
@@ -305,35 +344,178 @@ class ParallelSuiteResult(SuiteResult):
             f"  {self.workers} worker(s) | per-shard scenarios/s: {shard_line or 'n/a'}"
             + (f" | chunks stolen: {steal_line}" if self.workers > 1 else "")
         )
+        if self.crashed_workers:
+            lines.append(
+                f"  recovered from {len(self.crashed_workers)} worker crash(es) "
+                f"(workers {self.crashed_workers}, {self.respawns} respawn(s))"
+            )
         for path in self.corpus_paths:
             lines.append(f"  pinned failing spec -> {path}")
         return "\n".join(lines)
 
 
-def _collect_reports(processes: list, result_queue, expected: int) -> list[dict]:
-    """Wait for ``expected`` worker reports, failing loudly on dead workers."""
-    reports: list[dict] = []
-    while len(reports) < expected:
-        try:
-            report = result_queue.get(timeout=_REPORT_POLL_S)
-        except Empty:
-            dead = {
-                proc.name: proc.exitcode
-                for proc in processes
-                if proc.exitcode not in (None, 0)
-            }
-            if dead:
-                raise RuntimeError(
-                    f"parallel worker process(es) died without reporting: {dead}"
-                )
-            continue
-        if "error" in report:
+def _empty_worker_report(worker_id: int) -> dict:
+    return {
+        "shard": worker_id,
+        "scenarios": 0,
+        "chunks_stolen": 0,
+        "verdicts": [],
+        "failures": [],
+        "mediations": 0,
+        "denied": 0,
+        "cache_hits": 0,
+        "cache_lookups": 0,
+        "pages_loaded": 0,
+        "tasks_run": 0,
+        "faults": {},
+        "duration_s": 0.0,
+        "compile_cache": None,
+        "crashed": False,
+    }
+
+
+def _supervise_pool(
+    ctx, config: dict, task_queue, result_queue, active: dict, count: int
+) -> tuple[list[dict], int, list[int]]:
+    """Drive the worker pool to completion, recovering from worker crashes.
+
+    The supervision contract, built on the worker's claim/chunk/done
+    protocol:
+
+    * every scenario index is reported **exactly once** -- a duplicate chunk
+      report raises instead of silently double-counting a verdict;
+    * a worker that dies between ``claim`` and ``chunk`` has exactly its
+      unreported claimed indices requeued, and a replacement worker is
+      spawned under a fresh id (outside any crash schedule, so an injected
+      cascade is bounded by construction) up to one respawn per original
+      worker;
+    * shutdown sentinels are enqueued only once *all* ``count`` indices have
+      been reported, so a requeued chunk can never race a sentinel into a
+      worker and starve.
+
+    Returns ``(per-worker reports, respawns, crashed worker ids)``.
+    """
+    max_respawns = len(active)
+    reports: dict[int, dict] = {wid: _empty_worker_report(wid) for wid in active}
+    claimed: dict[int, list[int]] = {}
+    reported: set[int] = set()
+    crashed: list[int] = []
+    respawns = 0
+    next_worker_id = max(active) + 1
+    sentinels_sent = False
+
+    def handle(message: dict) -> None:
+        kind = message.get("type")
+        worker = message.get("worker")
+        if kind == "error":
             raise RuntimeError(
-                f"shard {report['shard']} failed: {report['error']}\n"
-                + report.get("traceback", "")
+                f"shard {worker} failed: {message['error']}\n"
+                + message.get("traceback", "")
             )
-        reports.append(report)
-    return reports
+        if kind == "claim":
+            claimed[worker] = list(message["indices"])
+            return
+        if kind == "chunk":
+            for index in message["indices"]:
+                if index in reported:
+                    raise RuntimeError(
+                        f"exactly-once violation: scenario index {index} "
+                        f"reported twice (second report from worker {worker})"
+                    )
+                reported.add(index)
+            claimed.pop(worker, None)
+            report = reports[worker]
+            report["chunks_stolen"] += 1
+            report["scenarios"] += len(message["indices"])
+            report["verdicts"].extend(message["verdicts"])
+            report["failures"].extend(message["failures"])
+            for counter in (
+                "mediations",
+                "denied",
+                "cache_hits",
+                "cache_lookups",
+                "pages_loaded",
+                "tasks_run",
+            ):
+                report[counter] += message[counter]
+            if message.get("faults"):
+                merge_fault_stats(report["faults"], message["faults"])
+            return
+        if kind == "done":
+            report = reports[worker]
+            report["duration_s"] = message["duration_s"]
+            report["compile_cache"] = message.get("compile_cache")
+            process = active.pop(worker, None)
+            if process is not None:
+                process.join()
+            return
+        raise RuntimeError(f"unknown worker message: {message!r}")
+
+    def reap_dead() -> None:
+        nonlocal respawns, next_worker_id
+        dead = [wid for wid, proc in active.items() if proc.exitcode is not None]
+        if not dead:
+            return
+        # A dying worker flushes its queue feeder before exiting (the
+        # injected-crash path does so explicitly), so consume everything
+        # already in flight before deciding what it failed to report.
+        try:
+            while True:
+                handle(result_queue.get_nowait())
+        except Empty:
+            pass
+        for wid in dead:
+            process = active.pop(wid, None)
+            if process is None:
+                continue  # its 'done' arrived in the drain above
+            process.join()
+            reports[wid]["crashed"] = True
+            crashed.append(wid)
+            lost = claimed.pop(wid, None)
+            if lost is not None:
+                missing = [index for index in lost if index not in reported]
+                if missing:
+                    task_queue.put(missing)
+            if len(reported) >= count:
+                continue  # all work already accounted for; no replacement
+            if respawns < max_respawns:
+                respawns += 1
+                replacement_id = next_worker_id
+                next_worker_id += 1
+                reports[replacement_id] = _empty_worker_report(replacement_id)
+                replacement = ctx.Process(
+                    target=_steal_worker,
+                    args=(replacement_id, config, task_queue, result_queue),
+                    daemon=True,
+                )
+                replacement.start()
+                active[replacement_id] = replacement
+        if len(reported) < count and not active:
+            raise RuntimeError(
+                f"all parallel workers died with {count - len(reported)} "
+                f"scenario(s) unreported and the respawn budget "
+                f"({max_respawns}) exhausted; crashed workers: {crashed}"
+            )
+
+    while True:
+        if not sentinels_sent and len(reported) == count:
+            for _ in range(len(active)):
+                task_queue.put(None)  # one shutdown sentinel per live worker
+            sentinels_sent = True
+        if not active:
+            break
+        try:
+            message = result_queue.get(timeout=_SUPERVISE_POLL_S)
+        except Empty:
+            reap_dead()
+            continue
+        handle(message)
+
+    return (
+        sorted(reports.values(), key=lambda report: report["shard"]),
+        respawns,
+        crashed,
+    )
 
 
 def run_suite_parallel(
@@ -351,6 +533,8 @@ def run_suite_parallel(
     steal_chunk: int | None = None,
     warm_ship: bool = True,
     mp_context: str | None = None,
+    faults=None,
+    crash_schedule: dict | None = None,
 ) -> ParallelSuiteResult:
     """Run ``count`` seeded scenarios over a work-stealing worker pool.
 
@@ -368,14 +552,27 @@ def run_suite_parallel(
     ``compile_caches=False`` disables the cache stack entirely.
     ``mp_context`` pins the multiprocessing start method (default: ``fork``
     where available, else ``spawn``; see :func:`resolve_mp_context`).
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultConfig` or its dict form)
+    arms the fault-injection plane inside every worker; its ``worker`` rate
+    derives a deterministic crash schedule unless ``crash_schedule`` pins
+    one explicitly (``{worker_id: 1-based chunk ordinal}``).  Crashed
+    workers are supervised: their claimed chunk is requeued and a
+    replacement is spawned, and the merged parity is still byte-identical
+    to the serial run.  Crash schedules need the pooled path -- with one
+    worker the run is in-process and the schedule is ignored.
     """
     requested = max(1, int(workers))
+    if isinstance(faults, dict):
+        faults = FaultConfig.from_dict(faults)
     model_names = tuple(spec.name for spec in resolve_models(models))
     # The parent-side generator is only a configuration snapshot: its apps
     # and attack-name tuple travel to the workers so every process generates
     # from the identical vocabulary, runtime registrations included.
     generator = ScenarioGenerator(seed=seed, attack_ratio=attack_ratio)
     shard_count = max(1, min(requested, count))
+    if crash_schedule is None and faults is not None:
+        crash_schedule = faults.crash_schedule(shard_count)
     config = {
         "seed": generator.seed,
         "apps": generator.apps,
@@ -385,9 +582,13 @@ def run_suite_parallel(
         "compile_caches": compile_caches,
         "script_engine": script_engine,
         "storage": storage,
+        "faults": faults.to_dict() if faults is not None else None,
+        "crash_schedule": dict(crash_schedule) if crash_schedule else None,
     }
 
     start = time.perf_counter()
+    respawns = 0
+    crashed_workers: list[int] = []
     if shard_count == 1:
         # One worker needs no pool (and nothing shipped): run the whole range
         # in-process, through the exact same runner-construction code path
@@ -418,25 +619,27 @@ def run_suite_parallel(
         result_queue = ctx.Queue()
         for chunk in steal_chunks(count, chunk_size):
             task_queue.put(chunk)
-        for _ in range(shard_count):
-            task_queue.put(None)  # one shutdown sentinel per worker
-        processes = [
-            ctx.Process(
+        # NB: no shutdown sentinels yet -- the supervision loop enqueues them
+        # only after every scenario index has been reported, so a chunk
+        # requeued after a worker crash can never lose the race to one.
+        active = {
+            worker_id: ctx.Process(
                 target=_steal_worker,
                 args=(worker_id, config, task_queue, result_queue),
                 daemon=True,
             )
             for worker_id in range(shard_count)
-        ]
-        for process in processes:
+        }
+        for process in active.values():
             process.start()
         try:
-            reports = _collect_reports(processes, result_queue, shard_count)
+            reports, respawns, crashed_workers = _supervise_pool(
+                ctx, config, task_queue, result_queue, active, count
+            )
         finally:
-            # Normal path: every worker has already exited (or is flushing its
-            # queue feeder after we consumed its report).  Error path: reap
+            # Normal path: every worker has already exited.  Error path: reap
             # whatever is still draining the task queue.
-            for process in processes:
+            for process in active.values():
                 if process.is_alive():
                     process.terminate()
                 process.join()
@@ -452,6 +655,8 @@ def run_suite_parallel(
         warm_ship=shipped,
         steal_chunk=chunk_size,
         mp_start_method=start_method,
+        respawns=respawns,
+        crashed_workers=crashed_workers,
     )
     result.duration_s = duration
 
@@ -492,6 +697,8 @@ def run_suite_parallel(
         result.cache_lookups += report["cache_lookups"]
         result.pages_loaded += report["pages_loaded"]
         result.tasks_run += report["tasks_run"]
+        if report.get("faults"):
+            merge_fault_stats(result.faults, report["faults"])
         shard_duration = report["duration_s"]
         result.shard_stats.append(
             {
@@ -509,6 +716,7 @@ def run_suite_parallel(
                 ),
                 "mediations": report["mediations"],
                 "denied": report["denied"],
+                "crashed": report.get("crashed", False),
                 "compile_cache": report.get("compile_cache"),
             }
         )
@@ -520,6 +728,7 @@ def run_suite_parallel(
                 models=model_names,
                 reason=failure["reason"],
                 replay=failure["replay"],
+                faults=failure.get("faults"),
                 directory=corpus_dir,
             )
             result.corpus_paths.append(str(path))

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.attacks.harness import Attack, AttackEnvironment, AttackResult, build_environment, login_user
 from repro.browser.browser import Browser, LoadedPage
 from repro.browser.compile_cache import CompileCaches, dump_warm_state, load_warm_state
+from repro.faults.plan import FaultConfig, FaultPlan
 
 from .generator import attack_by_name
 from .model import TAB_ACTIONS, ModelSpec, Scenario, Step, resolve_models
@@ -74,6 +75,9 @@ class ScenarioRun:
     attack_result: AttackResult | None = None
     #: Denials recorded by the victim's browser since the attack was planted.
     attack_denials: list[DenialRecord] = field(default_factory=list)
+    #: Fault-plane accounting for this run (``{}`` when no fault fired).
+    #: Reporting only -- deliberately outside every parity comparison.
+    faults: dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -113,6 +117,7 @@ class ScenarioRunner:
         script_engine: str = "vm",
         storage: str = "dict",
         static_screen: bool = False,
+        faults: "FaultConfig | dict | None" = None,
     ) -> None:
         self.specs = resolve_models(models)
         if script_engine not in ("vm", "walker"):
@@ -151,6 +156,14 @@ class ScenarioRunner:
         #: deterministic within this worker (for template-cache hits), but
         #: never computable by page content.
         self._nonce_secret = secrets.token_hex(16)
+        #: Fault-injection plane.  ``None`` = no plane (the default, zero
+        #: overhead); a :class:`FaultConfig` -- even an all-zero-rate one --
+        #: arms every fault site for each run.  Warm-up environments are
+        #: never faulted: the plan is derived and attached per
+        #: (scenario, model) run, after the environment is built and seeded.
+        if isinstance(faults, dict):
+            faults = FaultConfig.from_dict(faults)
+        self.faults: FaultConfig | None = faults
 
     # -- warm start --------------------------------------------------------------------
 
@@ -190,6 +203,7 @@ class ScenarioRunner:
         models=("escudo", "sop", "none"),
         script_engine: str = "vm",
         storage: str = "dict",
+        faults: "FaultConfig | dict | None" = None,
     ) -> "ScenarioRunner":
         """A runner that starts from a shipped warm state instead of cold.
 
@@ -205,6 +219,7 @@ class ScenarioRunner:
             compile_caches=state.caches,
             script_engine=script_engine,
             storage=storage,
+            faults=faults,
         )
         runner._nonce_secret = state.nonce_secret
         runner._warmed_apps = set(state.warmed_apps)
@@ -292,6 +307,17 @@ class ScenarioRunner:
         # scenario's interleave key, so task orderings are part of the spec:
         # the same scenario replays the same schedule under every model.
         env.browser.interleave_seed = scenario.interleave or None
+        plan: FaultPlan | None = None
+        if self.faults is not None:
+            # Arm the plane *after* build_environment: application seeding
+            # is setup, not traffic, and must never be faulted.  One plan
+            # instance per (scenario, model) run, shared by the network,
+            # the app's storage tier and every actor's browser.
+            plan = self.faults.plan_for(scenario.name, spec.name)
+            env.network.fault_plan = plan
+            env.app.storage.fault_plan = plan
+            env.browser.fault_plan = plan
+            env.extra["fault_plan"] = plan
         browsers: dict[str, Browser] = {scenario.victim.name: env.browser}
 
         attack_result: AttackResult | None = None
@@ -340,6 +366,8 @@ class ScenarioRunner:
             cache_after = caches.decisions.info()
             run.cache_hits = cache_after.hits - cache_before.hits
             run.cache_lookups = cache_after.lookups - cache_before.lookups
+        if plan is not None:
+            run.faults = plan.stats.as_dict()
         return run
 
     # -- step execution -----------------------------------------------------------------
@@ -362,6 +390,7 @@ class ScenarioRunner:
                 script_engine=self.script_engine,
                 static_screen=self.screen,
             )
+            browser.fault_plan = env.extra.get("fault_plan")
             browsers[step.actor] = browser
         origin = env.app.origin
         action = step.action

@@ -26,7 +26,7 @@ from repro.core.config import PageConfiguration
 from repro.http.messages import HttpRequest, HttpResponse
 
 from .sessions import Session, SessionStore
-from .storage import CONTENT_SCOPE, StorageBackend, make_backend
+from .storage import CONTENT_SCOPE, StorageBackend, StorageUnavailable, make_backend
 from repro.html.entities import escape_text
 
 
@@ -191,7 +191,9 @@ class WebApplication:
         if cached is not None:
             return _copy_response(cached)
         response = self._handle_uncached(request, session)
-        if not response.set_cookie_values:
+        # 5xx responses only arise from injected faults; memoising one
+        # would keep serving the outage after the fault window passed.
+        if not response.set_cookie_values and response.status < 500:
             if len(self._response_cache) >= 256:
                 self._response_cache.clear()
             self._response_cache[key] = _copy_response(response)
@@ -208,7 +210,17 @@ class WebApplication:
             if route.requires_login and self.csrf_protection and request.method == "POST":
                 if not self._csrf_token_valid(context):
                     return self.decorate(HttpResponse.forbidden("invalid or missing CSRF token"), context)
-            response = route.handler(context)
+            try:
+                response = route.handler(context)
+            except StorageUnavailable as error:
+                # Graceful degradation: a transient storage fault becomes a
+                # clean 503 instead of a traceback escaping the fabric.  Any
+                # writes the handler completed before the fault already
+                # bumped their version scopes, so no memo can go stale.
+                response = HttpResponse(
+                    status=503,
+                    body=f"<html><body><h1>503</h1><p>{error}</p></body></html>",
+                )
             return self.decorate(response, context)
         return self.decorate(HttpResponse.not_found(f"no route for {request.method} {request.url.path}"), context)
 

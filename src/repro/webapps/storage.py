@@ -35,6 +35,8 @@ from __future__ import annotations
 import sqlite3
 from dataclasses import dataclass
 
+from repro.faults.plan import SITE_STORAGE as _SITE_STORAGE
+
 #: Version scope fed by content-table writes (topics, posts, events...).
 #: The framework's ``_state_generation`` reads this scope.
 CONTENT_SCOPE = "content"
@@ -42,6 +44,21 @@ CONTENT_SCOPE = "content"
 #: Version scope fed by session-table writes (create/destroy/data writes).
 #: ``SessionStore.version`` reads this scope.
 SESSION_SCOPE = "sessions"
+
+
+class StorageUnavailable(RuntimeError):
+    """Transient storage failure surfaced to the application tier.
+
+    Raised by a write gate when the fault plane injects a ``busy``/``io``
+    fault and retries are disarmed (or exhausted).  The framework catches
+    it and degrades the request to a 503 instead of letting the traceback
+    escape.
+    """
+
+    def __init__(self, kind: str, table: str) -> None:
+        super().__init__(f"storage transiently unavailable ({kind}) writing table {table!r}")
+        self.kind = kind
+        self.table = table
 
 
 @dataclass(frozen=True)
@@ -79,6 +96,33 @@ class StorageBackend:
 
     def __init__(self) -> None:
         self._specs: dict[str, TableSpec] = {}
+        #: Armed by the scenario runner; ``None`` disables the write gate.
+        self.fault_plan = None
+
+    def _write_gate(self, table: str) -> None:
+        """Fault-plane checkpoint at the top of every mutator.
+
+        Fires *before* any backend-specific work, so a gated write leaves
+        both backends in byte-identical states (the dict-parity contract
+        survives fault schedules).  With retries armed, the gate re-probes
+        the schedule up to ``burst_cap`` more times -- the burst cap
+        guarantees one of those probes is clean, so the write always lands
+        deterministically.  With retries off it raises
+        :class:`StorageUnavailable`.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        kind = plan.decide(_SITE_STORAGE)
+        if kind is None:
+            return
+        if plan.retries:
+            for _attempt in range(plan.burst_cap):
+                plan.stats.note_retry(_SITE_STORAGE)
+                if plan.decide(_SITE_STORAGE) is None:
+                    plan.stats.note_recovery()
+                    return
+        raise StorageUnavailable(kind, table)
 
     # -- schema -----------------------------------------------------------------
 
@@ -183,12 +227,14 @@ class DictBackend(StorageBackend):
         return row_id
 
     def insert(self, table: str, row: dict) -> int:
+        self._write_gate(table)
         spec = self.spec(table)
         row_id = self._store_row(spec, row)
         self.bump(spec.scope)
         return row_id
 
     def insert_many(self, table: str, rows) -> int:
+        self._write_gate(table)
         spec = self.spec(table)
         inserted = 0
         for row in rows:
@@ -214,6 +260,7 @@ class DictBackend(StorageBackend):
         ]
 
     def update(self, table: str, row_id: int, **fields) -> bool:
+        self._write_gate(table)
         spec = self.spec(table)
         row = self._tables[spec.name].get(row_id)
         if row is None:
@@ -226,6 +273,7 @@ class DictBackend(StorageBackend):
         return True
 
     def delete(self, table: str, row_id: int) -> bool:
+        self._write_gate(table)
         spec = self.spec(table)
         if self._tables[spec.name].pop(row_id, None) is None:
             return False
@@ -289,6 +337,7 @@ class SqliteBackend(StorageBackend):
         return f"INSERT INTO {spec.name} ({quoted}) VALUES ({placeholders})", columns
 
     def insert(self, table: str, row: dict) -> int:
+        self._write_gate(table)
         spec = self.spec(table)
         sql, columns = self._insert_sql(spec, spec.id_column in row and row[spec.id_column] is not None)
         cursor = self._conn.execute(sql, tuple(row.get(column) for column in columns))
@@ -297,6 +346,7 @@ class SqliteBackend(StorageBackend):
         return int(cursor.lastrowid)
 
     def insert_many(self, table: str, rows) -> int:
+        self._write_gate(table)
         spec = self.spec(table)
         rows = list(rows)
         if not rows:
@@ -337,6 +387,7 @@ class SqliteBackend(StorageBackend):
         return [dict(row) for row in rows]
 
     def update(self, table: str, row_id: int, **fields) -> bool:
+        self._write_gate(table)
         spec = self.spec(table)
         for column in fields:
             if column not in spec.columns:
@@ -353,6 +404,7 @@ class SqliteBackend(StorageBackend):
         return True
 
     def delete(self, table: str, row_id: int) -> bool:
+        self._write_gate(table)
         spec = self.spec(table)
         cursor = self._conn.execute(
             f"DELETE FROM {spec.name} WHERE {spec.id_column} = ?", (row_id,)

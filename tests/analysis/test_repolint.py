@@ -34,6 +34,13 @@ class WidgetCache:
             return pickle.loads(key) or time.time()
         except:
             return None
+
+    def fetch(self, key):
+        attempts = 0
+        while True:  # unbounded retry loop: no attempt cap
+            attempts += 1
+            if self.lookup(key) is not None:
+                return attempts
 '''
 
 

@@ -1,0 +1,68 @@
+"""Tests for the chaos differential oracle (small matrices; CI runs the
+full 200-schedule matrix via ``python -m repro.faults``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.chaos import ChaosReport, check_passivity, run_chaos_matrix
+
+
+class TestChaosMatrix:
+    def test_small_matrix_is_fail_closed_and_convergent(self):
+        report = run_chaos_matrix(seed=9, count=4, schedules=2, rate=0.15)
+        assert report.ok, (report.fail_open, report.diverged)
+        assert report.fail_open == []
+        assert report.diverged == []
+        # 4 scenarios x 2 schedules x {retries on, off}.
+        assert report.runs_faulted == 4 * 2 * 2
+        assert report.total_schedule_runs == report.runs_faulted
+
+    def test_matrix_actually_injects_faults(self):
+        report = run_chaos_matrix(seed=9, count=4, schedules=2, rate=0.3)
+        assert sum(report.faults.get("injected", {}).values()) > 0
+
+    def test_report_round_trips_the_interesting_fields(self):
+        report = run_chaos_matrix(seed=9, count=3, schedules=1, rate=0.15)
+        payload = report.as_dict()
+        for key in (
+            "seed", "count", "schedules", "rate", "storage", "ok",
+            "runs_faulted", "fail_open", "diverged", "degraded",
+            "crashes", "faults",
+        ):
+            assert key in payload
+        assert payload["ok"] is True
+
+    def test_matrix_is_deterministic(self):
+        a = run_chaos_matrix(seed=5, count=3, schedules=2, rate=0.2)
+        b = run_chaos_matrix(seed=5, count=3, schedules=2, rate=0.2)
+        assert a.as_dict() == b.as_dict()
+
+    def test_ok_property_reflects_violations(self):
+        report = ChaosReport(seed=1, count=1, schedules=1, rate=0.1, storage="dict")
+        assert report.ok
+        report.degraded = 3
+        report.crashes = 2
+        assert report.ok, "degradation with retries off is allowed"
+        report.fail_open.append({"scenario": "s"})
+        assert not report.ok
+
+    def test_sqlite_matrix_holds_too(self):
+        report = run_chaos_matrix(
+            seed=9, count=3, schedules=1, rate=0.15, storage="sqlite"
+        )
+        assert report.ok, (report.fail_open, report.diverged)
+
+
+class TestPassivityCheck:
+    def test_armed_empty_plan_is_byte_identical_everywhere(self):
+        result = check_passivity(seed=11, count=6, workers=2)
+        assert result["ok"], result["checks"]
+        modes = {(check["mode"], check["storage"]) for check in result["checks"]}
+        assert modes == {
+            ("serial", "dict"),
+            ("serial", "sqlite"),
+            ("parallel-2", "dict"),
+            ("parallel-2", "sqlite"),
+        }
+        assert all(check["identical"] for check in result["checks"])

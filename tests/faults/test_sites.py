@@ -1,0 +1,179 @@
+"""Per-site fault-injection behaviour: network, storage, and the suite.
+
+The XHR completion site has its own browser-level tests
+(``tests/browser/test_xhr_faults.py``) and the worker-crash site its
+executor tests (``tests/scenarios/test_parallel_recovery.py``); here the
+network and storage seams are pinned down directly, plus the end-to-end
+claim that a maximum-rate schedule with retries armed still yields a fully
+converged, all-green suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import SITE_NETWORK, SITE_STORAGE, FaultConfig
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.network import Network
+from repro.http.url import Url
+from repro.scenarios.engine import run_suite
+from repro.webapps.storage import (
+    DictBackend,
+    SqliteBackend,
+    StorageUnavailable,
+    TableSpec,
+)
+
+ORIGIN = "http://site.example.com"
+
+
+class EchoServer:
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.text("served")
+
+
+def make_network() -> Network:
+    network = Network()
+    network.register(ORIGIN, EchoServer())
+    return network
+
+
+def get(url_text: str) -> HttpRequest:
+    return HttpRequest(method="GET", url=Url.parse(url_text))
+
+
+class TestNetworkSite:
+    def test_faulted_dispatch_synthesises_a_response(self):
+        network = make_network()
+        network.fault_plan = FaultConfig(seed=1, network=1.0).plan_for("t", "m")
+        response = network.dispatch(get(f"{ORIGIN}/page"))
+        assert response.fault in ("drop", "timeout", "http_500")
+        assert response.status in (0, 500)
+
+    def test_faulted_exchanges_never_reach_the_request_log(self):
+        # The request log is the attack oracles' ground truth (e.g. CSRF
+        # checks scan requests_to); injected faults must not pollute it --
+        # they can remove capability, never add evidence.
+        network = make_network()
+        network.fault_plan = FaultConfig(seed=1, network=1.0).plan_for("t", "m")
+        network.dispatch(get(f"{ORIGIN}/page"))
+        assert network.request_log == []
+        assert len(network.fault_log) == 1
+        assert network.fault_log[0].response.fault
+
+    def test_clean_slots_still_serve_and_log_normally(self):
+        network = make_network()
+        plan = FaultConfig(seed=1, network=0.5).plan_for("t", "m")
+        network.fault_plan = plan
+        responses = [network.dispatch(get(f"{ORIGIN}/page")) for _ in range(20)]
+        served = [r for r in responses if not r.fault]
+        faulted = [r for r in responses if r.fault]
+        assert served and faulted
+        assert all(r.body == "served" for r in served)
+        assert len(network.request_log) == len(served)
+        assert len(network.fault_log) == len(faulted)
+
+    def test_clear_log_clears_the_fault_log_too(self):
+        network = make_network()
+        network.fault_plan = FaultConfig(seed=1, network=1.0).plan_for("t", "m")
+        network.dispatch(get(f"{ORIGIN}/page"))
+        network.clear_log()
+        assert network.fault_log == []
+
+    def test_unregistered_origin_is_a_clean_502_not_a_crash(self):
+        # Regression guard: the dispatcher must degrade to a 502 response
+        # for unknown origins, with or without a fault plan armed.
+        network = make_network()
+        network.fault_plan = FaultConfig.empty().plan_for("t", "m")
+        response = network.dispatch(get("http://nowhere.example.com/x"))
+        assert response.status == 502
+        assert not response.fault
+
+
+def seeded_backend(backend, plan=None):
+    backend.create_table(TableSpec(name="posts", columns=("id", "body")))
+    backend.insert("posts", {"body": "first"})
+    backend.fault_plan = plan
+    return backend
+
+
+class TestStorageSite:
+    def test_retries_heal_writes_and_count_recoveries(self):
+        plan = FaultConfig(seed=2, storage=1.0).plan_for("t", "m")
+        backend = seeded_backend(DictBackend(), plan)
+        for i in range(5):
+            backend.insert("posts", {"body": f"post-{i}"})
+        assert backend.count("posts") == 6
+        assert plan.stats.retries[SITE_STORAGE] > 0
+        assert plan.stats.recoveries > 0
+
+    def test_without_retries_the_write_raises_storage_unavailable(self):
+        plan = FaultConfig(seed=2, storage=1.0, retries=False).plan_for("t", "m")
+        backend = seeded_backend(DictBackend(), plan)
+        with pytest.raises(StorageUnavailable) as excinfo:
+            backend.insert("posts", {"body": "doomed"})
+        assert excinfo.value.table == "posts"
+        assert backend.count("posts") == 1, "a refused write must not half-land"
+
+    def test_dict_and_sqlite_consume_identical_schedules(self):
+        # The gate fires before any backend-specific work, so under the
+        # same plan both backends make the same writes land -- dict parity
+        # must survive fault schedules.
+        config = FaultConfig(seed=3, storage=0.6)
+        results = []
+        for backend_cls in (DictBackend, SqliteBackend):
+            plan = config.plan_for("t", "m")
+            backend = seeded_backend(backend_cls(), plan)
+            for i in range(8):
+                backend.insert("posts", {"body": f"post-{i}"})
+            backend.update("posts", 1, body="edited")
+            results.append((backend.all("posts"), plan.stats.as_dict()))
+            backend.close()
+        assert results[0] == results[1]
+
+    def test_every_mutator_is_gated(self):
+        config = FaultConfig(seed=2, storage=1.0, retries=False)
+        backend = seeded_backend(DictBackend())
+        mutators = (
+            lambda: backend.insert("posts", {"body": "x"}),
+            lambda: backend.insert_many("posts", [{"body": "y"}]),
+            lambda: backend.update("posts", 1, body="z"),
+            lambda: backend.delete("posts", 1),
+        )
+        for mutate in mutators:
+            # A fresh plan per mutator: the burst cap deliberately forces
+            # every (burst_cap+1)-th draw clean, so a shared plan would let
+            # one mutator through.
+            backend.fault_plan = config.plan_for("t", "m")
+            with pytest.raises(StorageUnavailable):
+                mutate()
+            backend.fault_plan = None
+
+    def test_reads_are_never_gated(self):
+        plan = FaultConfig(seed=2, storage=1.0, retries=False).plan_for("t", "m")
+        backend = seeded_backend(DictBackend(), plan)
+        assert backend.get("posts", 1) is not None
+        assert backend.all("posts")
+        assert backend.count("posts") == 1
+
+
+class TestSuiteUnderMaximumFaultRate:
+    def test_full_rate_schedule_with_retries_still_converges(self):
+        # network+storage at rate 1.0: every dispatch/write eats the full
+        # burst of faults, and the retry layers must still land every one
+        # -- the differential suite stays green and matches the fault-free
+        # digests (the oracle compares digests across the matrix columns).
+        suite = run_suite(
+            seed=17,
+            count=6,
+            faults=FaultConfig(seed=4, network=1.0, storage=1.0),
+        )
+        assert suite.ok, suite.summary()
+        assert sum(suite.faults["injected"].values()) > 0
+        assert suite.faults["recoveries"] > 0
+
+    def test_fault_telemetry_stays_out_of_the_parity_report(self):
+        faulted = run_suite(seed=17, count=4, faults=FaultConfig(seed=4, network=1.0))
+        assert "faults" not in faulted.parity_dict()
+        assert faulted.faults, "telemetry must still appear in as_dict()"
+        assert faulted.as_dict()["faults"] == faulted.faults

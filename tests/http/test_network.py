@@ -113,3 +113,50 @@ class TestRequestLog:
         summary = network.traffic_summary()
         assert summary[APP] == 3
         assert summary[EVIL] == 1
+
+
+class TestUnknownOriginRegression:
+    """Regression guards for the unregistered-origin path: a clean 502
+    response -- logged, named, and stable with or without a fault plan."""
+
+    def test_502_names_the_missing_origin(self):
+        network = Network()
+        response = network.dispatch(
+            HttpRequest(method="GET", url="http://nowhere.example.org/x")
+        )
+        assert response.status == 502
+        assert "nowhere.example.org" in response.body
+
+    def test_502_exchange_is_logged_like_any_other(self):
+        network = Network()
+        network.dispatch(HttpRequest(method="GET", url="http://nowhere.example.org/x"))
+        log = network.request_log
+        assert len(log) == 1
+        assert log[0].response.status == 502
+        assert not log[0].response.ok
+
+    def test_502_survives_an_armed_empty_fault_plan(self):
+        from repro.faults.plan import FaultConfig
+
+        network = Network()
+        network.fault_plan = FaultConfig.empty().plan_for("t", "m")
+        response = network.dispatch(
+            HttpRequest(method="GET", url="http://nowhere.example.org/x")
+        )
+        assert response.status == 502
+        assert not response.fault
+        assert network.fault_log == []
+
+    def test_fault_plane_intercepts_before_origin_lookup(self):
+        # At rate 1.0 the plane wins even for unknown origins: the
+        # synthesized fault is what the caller sees, never the 502.
+        from repro.faults.plan import FaultConfig
+
+        network = Network()
+        network.fault_plan = FaultConfig(seed=1, network=1.0).plan_for("t", "m")
+        response = network.dispatch(
+            HttpRequest(method="GET", url="http://nowhere.example.org/x")
+        )
+        assert response.fault in ("drop", "timeout", "http_500")
+        assert network.request_log == []
+        assert len(network.fault_log) == 1

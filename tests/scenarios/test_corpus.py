@@ -153,3 +153,69 @@ class TestCorpusEntries:
         verdict = entry.replay_verdict()
         assert verdict.ok
         assert verdict.kind == "benign"
+
+
+class TestFaultSchedulePinning:
+    """A failure found under a fault schedule pins the schedule alongside
+    the spec, so the replay reproduces the faults too."""
+
+    def _spec(self) -> dict:
+        from repro.scenarios import Actor
+
+        return Scenario(
+            name="benign-blog-9999",
+            app_key="blog",
+            kind="benign",
+            actors=[Actor(name="alice")],
+            steps=[make_step("alice", "visit", path="/")],
+        ).to_dict()
+
+    def _faults(self) -> dict:
+        from repro.faults.plan import FaultConfig
+
+        return FaultConfig.uniform(seed="chaos:3", rate=0.15).to_dict()
+
+    def test_entry_with_faults_round_trips(self):
+        entry = CorpusEntry(
+            spec=self._spec(), models=("escudo",), expect_ok=True,
+            faults=self._faults(),
+        )
+        first = canonical_spec_json(entry.to_dict())
+        reloaded = CorpusEntry.from_dict(json.loads(first))
+        assert canonical_spec_json(reloaded.to_dict()) == first
+        assert reloaded.faults == self._faults()
+
+    def test_unfaulted_entries_keep_their_legacy_digest(self):
+        # Pre-plane corpus files must keep their deterministic filenames:
+        # the faults field only enters the digest when it is set.
+        base = CorpusEntry(spec=self._spec(), models=("escudo",), expect_ok=True)
+        assert "faults" not in base.to_dict()
+        pinned = CorpusEntry(
+            spec=self._spec(), models=("escudo",), expect_ok=True,
+            faults=self._faults(),
+        )
+        assert base.filename() != pinned.filename()
+        assert base.filename() == CorpusEntry(
+            spec=self._spec(), models=("escudo",), expect_ok=True
+        ).filename()
+
+    def test_save_failure_pins_the_schedule(self, tmp_path):
+        save_failure(
+            self._spec(), models=("escudo",), reason="diverged under faults",
+            directory=tmp_path, faults=self._faults(),
+        )
+        [(_, entry)] = load_corpus(tmp_path)
+        assert entry.faults == self._faults()
+
+    def test_replay_verdict_re_arms_the_pinned_schedule(self):
+        from repro.faults.plan import FaultConfig
+
+        # Rate 1.0 so even this one-step scenario is guaranteed a draw.
+        entry = CorpusEntry(
+            spec=self._spec(), models=("escudo",), expect_ok=True,
+            faults=FaultConfig.uniform(seed="chaos:3", rate=1.0).to_dict(),
+        )
+        verdict = entry.replay_verdict()
+        assert verdict.ok, "retries must heal the pinned schedule"
+        faulted = [run for run in verdict.runs.values() if run.faults]
+        assert faulted, "the replay must actually inject the pinned faults"

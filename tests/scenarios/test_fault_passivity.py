@@ -1,0 +1,79 @@
+"""Passivity property suite (satellite of the fault-injection plane).
+
+An *armed but empty* fault plan -- every site present, every rate zero --
+must be a true no-op: the suite's canonical parity report is byte-identical
+to a run with no plane installed at all.  Checked serially and over a
+4-worker pool, on both storage backends.  This is the property that lets
+the plane live permanently in the hot path: when disabled it cannot change
+a single byte of output, only cost (gated separately in BENCH_faults).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.plan import FaultConfig
+from repro.scenarios.engine import run_suite
+from repro.scenarios.parallel import run_suite_parallel
+
+SEED = 11
+COUNT = 10
+WORKERS = 4
+
+
+def canon(result) -> str:
+    return json.dumps(result.parity_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("storage", ["dict", "sqlite"])
+class TestSerialPassivity:
+    def test_armed_empty_plan_is_byte_identical(self, storage):
+        absent = run_suite(seed=SEED, count=COUNT, storage=storage)
+        armed = run_suite(
+            seed=SEED, count=COUNT, storage=storage, faults=FaultConfig.empty()
+        )
+        assert canon(absent) == canon(armed)
+
+    def test_armed_empty_plan_reports_no_telemetry(self, storage):
+        armed = run_suite(
+            seed=SEED, count=COUNT, storage=storage, faults=FaultConfig.empty()
+        )
+        assert armed.faults == {}, "a silent plane must not invent telemetry"
+
+
+@pytest.mark.parametrize("storage", ["dict", "sqlite"])
+class TestParallelPassivity:
+    def test_armed_empty_plan_is_byte_identical_at_four_workers(self, storage):
+        absent = run_suite_parallel(
+            seed=SEED, count=COUNT, storage=storage, workers=WORKERS,
+            persist_failures=False,
+        )
+        armed = run_suite_parallel(
+            seed=SEED, count=COUNT, storage=storage, workers=WORKERS,
+            persist_failures=False, faults=FaultConfig.empty(),
+        )
+        assert canon(absent) == canon(armed)
+
+    def test_armed_empty_plan_schedules_no_crashes(self, storage):
+        armed = run_suite_parallel(
+            seed=SEED, count=COUNT, storage=storage, workers=WORKERS,
+            persist_failures=False, faults=FaultConfig.empty(),
+        )
+        assert armed.respawns == 0
+        assert armed.crashed_workers == []
+        assert armed.faults == {}
+
+
+class TestPassivityAgainstSerialTruth:
+    def test_empty_plan_pool_matches_the_plain_serial_run(self):
+        # Transitively: plane-off serial == plane-off pool is the executor
+        # suite's invariant; here the armed-empty pool must match the plain
+        # serial run directly, closing the square.
+        serial = run_suite(seed=SEED, count=COUNT)
+        pool = run_suite_parallel(
+            seed=SEED, count=COUNT, workers=WORKERS,
+            persist_failures=False, faults=FaultConfig.empty(),
+        )
+        assert canon(serial) == canon(pool)

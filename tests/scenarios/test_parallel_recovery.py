@@ -1,0 +1,103 @@
+"""Worker-crash recovery in the sharded executor.
+
+Crashed workers (``os._exit`` mid-run, injected by the fault plane's
+``worker.crash`` site or an explicit ``crash_schedule``) must be detected,
+their claimed-but-unreported chunks requeued, and a replacement respawned
+-- with the merged result staying byte-identical to the serial run under
+exactly-once verdict accounting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.plan import FaultConfig
+from repro.scenarios.engine import run_suite
+from repro.scenarios.parallel import run_suite_parallel
+
+
+def canon(result) -> str:
+    return json.dumps(result.parity_dict(), sort_keys=True)
+
+
+class TestExplicitCrashSchedule:
+    def test_single_crash_recovers_with_serial_parity(self):
+        serial = run_suite(seed=7, count=18)
+        crashed = run_suite_parallel(
+            seed=7, count=18, workers=3, persist_failures=False,
+            crash_schedule={1: 2},
+        )
+        assert canon(serial) == canon(crashed)
+        assert crashed.crashed_workers == [1]
+        assert crashed.respawns == 1
+
+    def test_multiple_crashes_recover_with_serial_parity(self):
+        serial = run_suite(seed=7, count=24)
+        crashed = run_suite_parallel(
+            seed=7, count=24, workers=3, persist_failures=False,
+            crash_schedule={0: 1, 1: 2},
+        )
+        assert canon(serial) == canon(crashed)
+        assert sorted(crashed.crashed_workers) == [0, 1]
+        assert crashed.respawns == 2
+
+    def test_shard_stats_mark_the_dead_and_the_replacements(self):
+        result = run_suite_parallel(
+            seed=7, count=18, workers=3, persist_failures=False,
+            crash_schedule={1: 2},
+        )
+        by_worker = {stat["shard"]: stat for stat in result.shard_stats}
+        assert by_worker[1]["crashed"] is True
+        # The replacement gets a fresh id past the initial pool.
+        assert any(worker >= 3 for worker in by_worker)
+        # Exactly-once: every scenario counted in exactly one shard, the
+        # crashed worker keeping only what it reported before dying.
+        assert sum(s["scenarios"] for s in result.shard_stats) == 18
+
+    def test_crash_telemetry_stays_out_of_parity(self):
+        result = run_suite_parallel(
+            seed=7, count=18, workers=3, persist_failures=False,
+            crash_schedule={1: 2},
+        )
+        parity = result.parity_dict()
+        assert "respawns" not in parity
+        assert "crashed_workers" not in parity
+        payload = result.as_dict()
+        assert payload["respawns"] == 1
+        assert payload["crashed_workers"] == [1]
+
+
+class TestFaultPlanDerivedCrashes:
+    def test_worker_rate_crashes_and_recovers_with_parity(self):
+        faults = FaultConfig(seed=11, worker=1.0)
+        assert faults.crash_schedule(3), "rate 1.0 must schedule crashes"
+        serial = run_suite(seed=7, count=18)
+        crashed = run_suite_parallel(
+            seed=7, count=18, workers=3, persist_failures=False, faults=faults,
+        )
+        assert canon(serial) == canon(crashed)
+        assert crashed.respawns >= 1
+        assert crashed.crashed_workers
+
+    def test_combined_fault_sites_preserve_parity_and_telemetry(self):
+        # Faults in the run (network/storage/xhr) *and* worker crashes at
+        # once: parity must hold and the merged fault telemetry must be
+        # identical to the serial faulted run -- sharding cannot change
+        # what was injected.
+        faults = FaultConfig(seed=11, network=0.2, storage=0.2, xhr=0.2, worker=0.5)
+        serial = run_suite(seed=7, count=16, faults=faults)
+        pool = run_suite_parallel(
+            seed=7, count=16, workers=3, persist_failures=False, faults=faults,
+        )
+        assert serial.ok
+        assert canon(serial) == canon(pool)
+        assert pool.faults == serial.faults
+
+    def test_summary_mentions_the_recovery(self):
+        result = run_suite_parallel(
+            seed=7, count=18, workers=3, persist_failures=False,
+            crash_schedule={1: 2},
+        )
+        assert "worker crash" in result.summary()
